@@ -1,0 +1,26 @@
+//! # mvtl-baselines
+//!
+//! The baseline concurrency-control engines the paper compares MVTL against in
+//! §8: **MVTO+** (multiversion timestamp ordering without cascading aborts) and
+//! **strict two-phase locking (2PL)** with timeouts.
+//!
+//! Both engines implement the same
+//! [`TransactionalKV`](mvtl_common::TransactionalKV) trait as the MVTL engines
+//! so that the workload harness, the serializability checker and the benchmarks
+//! can drive all protocols on identical inputs.
+//!
+//! These are independent implementations — they do not go through the MVTL
+//! lock table — matching the paper's setup where "implementations of MVTO+ and
+//! 2PL use the same framework, but run a different client protocol and keep a
+//! different server state: 2PL stores a single reader-writer lock per key,
+//! while MVTO+ stores a single skip list per key containing versions and
+//! associated locks" (§8.1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mvto;
+mod tpl;
+
+pub use mvto::MvtoStore;
+pub use tpl::TwoPhaseLockingStore;

@@ -1,0 +1,36 @@
+//! Smoke-scale benchmark of the ablation experiments (early-vs-late commit
+//! pick and interval width Δ). Full tables: `cargo run -p mvtl-bench --bin ablation`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvtl_sim::{Protocol, SimConfig, Simulation};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for (name, protocol, delta) in [
+        ("early-small-delta", Protocol::MvtilEarly, 500u64),
+        ("early-large-delta", Protocol::MvtilEarly, 50_000),
+        ("late-default-delta", Protocol::MvtilLate, 5_000),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let config = SimConfig::local_cluster(protocol)
+                    .clients(12)
+                    .keys(400)
+                    .write_fraction(0.5)
+                    .delta_us(delta)
+                    .duration_secs(1)
+                    .seed(23);
+                black_box(Simulation::new(config).run())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

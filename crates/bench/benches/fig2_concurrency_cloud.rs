@@ -1,0 +1,31 @@
+//! Smoke-scale benchmark of the simulated experiment behind Figure 2 (concurrency, cloud test bed).
+//! The full series is produced by `cargo run -p mvtl-bench --bin fig2`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvtl_sim::{Protocol, SimConfig, Simulation};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config(protocol: Protocol) -> SimConfig {
+    SimConfig::public_cloud(protocol).ops_per_tx(20).write_fraction(0.25)
+        .clients(12)
+        .keys(400)
+        .duration_secs(1)
+        .seed(17)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for protocol in [Protocol::MvtilEarly, Protocol::MvtoPlus] {
+        group.bench_function(protocol.name(), |b| {
+            b.iter(|| black_box(Simulation::new(config(protocol)).run()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Micro-benchmarks of the freezable interval lock table and the interval-set
+//! algebra — the data structures on MVTL's hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvtl_common::{LockMode, Timestamp, TsRange, TsSet, TxId};
+use mvtl_locks::KeyLockState;
+use std::hint::black_box;
+
+fn ts(v: u64) -> Timestamp {
+    Timestamp::at(v)
+}
+
+fn bench_lock_table(c: &mut Criterion) {
+    c.bench_function("lock_table/acquire_freeze_release_cycle", |b| {
+        b.iter(|| {
+            let mut state = KeyLockState::new();
+            for i in 0..32u64 {
+                let tx = TxId(i + 1);
+                let range = TsRange::new(ts(i * 10 + 1), ts(i * 10 + 8));
+                let analysis = state.acquire_grantable(tx, LockMode::Read, range);
+                black_box(&analysis);
+                state.freeze(tx, LockMode::Read, TsRange::point(ts(i * 10 + 1)));
+                state.release_unfrozen(tx);
+            }
+            black_box(state.stats())
+        })
+    });
+
+    c.bench_function("lock_table/analyze_under_contention", |b| {
+        let mut state = KeyLockState::new();
+        for i in 0..64u64 {
+            state.acquire_grantable(TxId(i + 1), LockMode::Read, TsRange::new(ts(i * 5), ts(i * 5 + 20)));
+        }
+        b.iter(|| {
+            let analysis = state.analyze(TxId(999), LockMode::Write, TsRange::new(ts(100), ts(200)));
+            black_box(analysis)
+        })
+    });
+
+    c.bench_function("tsset/intersection", |b| {
+        let a: TsSet = (0..64u64).map(|i| TsRange::new(ts(i * 10), ts(i * 10 + 4))).collect();
+        let bset: TsSet = (0..64u64).map(|i| TsRange::new(ts(i * 7), ts(i * 7 + 3))).collect();
+        b.iter(|| black_box(a.intersection(&bset)))
+    });
+}
+
+criterion_group!(benches, bench_lock_table);
+criterion_main!(benches);

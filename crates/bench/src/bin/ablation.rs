@@ -1,0 +1,14 @@
+//! Runs the ablation studies called out in DESIGN.md: early-vs-late commit
+//! timestamps, MVTIL interval width Δ, and the garbage-collection period.
+//! Pass `--paper` for larger sweeps.
+
+fn main() {
+    let scale = mvtl_bench::scale_from_args(std::env::args().skip(1));
+    for table in [
+        mvtl_workload::figures::ablation_commit_pick(scale),
+        mvtl_workload::figures::ablation_delta(scale),
+        mvtl_workload::figures::ablation_gc_period(scale),
+    ] {
+        println!("{}", table.render());
+    }
+}

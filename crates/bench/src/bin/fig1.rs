@@ -1,0 +1,7 @@
+//! Regenerates Figure 1 (throughput and commit rate vs. number of clients, local test bed) of the paper. Pass `--paper` for paper-scale sweeps.
+
+fn main() {
+    let scale = mvtl_bench::scale_from_args(std::env::args().skip(1));
+    let table = mvtl_workload::figures::fig1_concurrency_local(scale);
+    println!("{}", table.render());
+}

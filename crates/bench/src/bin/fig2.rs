@@ -1,0 +1,7 @@
+//! Regenerates Figure 2 (throughput and commit rate vs. number of clients, cloud test bed) of the paper. Pass `--paper` for paper-scale sweeps.
+
+fn main() {
+    let scale = mvtl_bench::scale_from_args(std::env::args().skip(1));
+    let table = mvtl_workload::figures::fig2_concurrency_cloud(scale);
+    println!("{}", table.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 3 (effect of the write fraction) of the paper. Pass `--paper` for paper-scale sweeps.
+
+fn main() {
+    let scale = mvtl_bench::scale_from_args(std::env::args().skip(1));
+    let table = mvtl_workload::figures::fig3_write_fraction(scale);
+    println!("{}", table.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 4 (small transactions) of the paper. Pass `--paper` for paper-scale sweeps.
+
+fn main() {
+    let scale = mvtl_bench::scale_from_args(std::env::args().skip(1));
+    let table = mvtl_workload::figures::fig4_small_transactions(scale);
+    println!("{}", table.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 5 (effect of the number of servers) of the paper. Pass `--paper` for paper-scale sweeps.
+
+fn main() {
+    let scale = mvtl_bench::scale_from_args(std::env::args().skip(1));
+    let table = mvtl_workload::figures::fig5_servers(scale);
+    println!("{}", table.render());
+}

@@ -1,0 +1,58 @@
+//! # mvtl-bench
+//!
+//! Benchmark harness for the MVTL reproduction.
+//!
+//! Two kinds of targets live here:
+//!
+//! * **Criterion benches** (`benches/`): micro-benchmarks of the lock table and
+//!   the centralized engines, plus one bench per figure of the paper that runs
+//!   a smoke-scale version of the corresponding experiment so that regressions
+//!   in the simulated protocols are caught by `cargo bench`.
+//! * **Figure binaries** (`src/bin/fig1.rs` … `fig7.rs`, `ablation.rs`): print
+//!   the full data series for each figure. Pass `--paper` for paper-scale
+//!   parameter sweeps, `--smoke` for the smallest runs; the default is the
+//!   `Quick` scale.
+//!
+//! ```bash
+//! cargo run -p mvtl-bench --release --bin fig1            # quick sweep
+//! cargo run -p mvtl-bench --release --bin fig1 -- --paper # paper-scale sweep
+//! cargo bench -p mvtl-bench                               # all benches
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mvtl_workload::Scale;
+
+/// Parses the common command-line convention of the figure binaries.
+///
+/// `--paper` selects paper-scale sweeps, `--smoke` the smallest runs; anything
+/// else (including no argument) selects the quick scale.
+#[must_use]
+pub fn scale_from_args<I: IntoIterator<Item = String>>(args: I) -> Scale {
+    let mut scale = Scale::Quick;
+    for arg in args {
+        match arg.as_str() {
+            "--paper" => scale = Scale::Paper,
+            "--smoke" => scale = Scale::Smoke,
+            _ => {}
+        }
+    }
+    scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scales() {
+        assert_eq!(scale_from_args(Vec::<String>::new()), Scale::Quick);
+        assert_eq!(scale_from_args(vec!["--paper".to_string()]), Scale::Paper);
+        assert_eq!(scale_from_args(vec!["--smoke".to_string()]), Scale::Smoke);
+        assert_eq!(
+            scale_from_args(vec!["fig1".to_string(), "--paper".to_string()]),
+            Scale::Paper
+        );
+    }
+}

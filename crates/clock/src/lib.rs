@@ -1,0 +1,38 @@
+//! # mvtl-clock
+//!
+//! Clock sources for timestamp-based concurrency control, plus the timestamp
+//! service of §8.1.
+//!
+//! The paper's algorithms differ in what they assume about clocks:
+//!
+//! * MVTO+/MVTL-TO assume *synchronized* (or at least monotonic) clocks and
+//!   suffer **serial aborts** when clocks are skewed (§5.3);
+//! * MVTL-ε-clock only assumes *ε-synchronized* clocks;
+//! * MVTIL (§8) assumes nothing about synchronization and shrinks its interval
+//!   dynamically.
+//!
+//! To reproduce those behaviours we provide a family of [`ClockSource`]
+//! implementations over a shared virtual global clock:
+//!
+//! * [`GlobalClock`] — a monotonically increasing shared counter (the "discrete
+//!   global clock" of §2);
+//! * [`SkewedClock`] — a per-process view of the global clock with a constant
+//!   offset per process (can violate monotonicity across processes, provoking
+//!   serial aborts);
+//! * [`EpsilonClock`] — a skewed clock whose offsets are bounded by ε;
+//! * [`ManualClock`] — scripted readings, used by the verifier to replay the
+//!   paper's schedules with pinned timestamps;
+//! * [`SystemClock`] — wall-clock microseconds, for the threaded benchmarks.
+//!
+//! [`TimestampService`] reproduces the purge broadcaster of §8.1: it
+//! periodically announces a time `T = now − K`; servers purge versions older
+//! than `T` and clients advance slow clocks to `T`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod service;
+mod sources;
+
+pub use service::TimestampService;
+pub use sources::{ClockSource, EpsilonClock, GlobalClock, ManualClock, SkewedClock, SystemClock};

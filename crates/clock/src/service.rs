@@ -1,0 +1,89 @@
+//! The timestamp service of §8.1.
+
+use crate::ClockSource;
+use mvtl_common::{ProcessId, Timestamp};
+
+/// The purge broadcaster used in the paper's implementation (§8.1).
+///
+/// "A timestamp service periodically broadcasts a message with a time `T` in
+/// the past, equal to the service's current time minus a constant `K`." The
+/// broadcast has two effects, both modelled here:
+///
+/// 1. servers purge versions (and the associated lock state) older than `T`
+///    that are not the most recent version of their key;
+/// 2. clients advance their local clocks to `T` if they are behind, so slow
+///    clients do not start transactions doomed to need purged versions.
+///
+/// The service itself is just arithmetic over a clock source; the engines and
+/// the simulator decide *when* to broadcast (every `K`/4, every 15 s, ...) and
+/// apply the two effects.
+pub struct TimestampService<C> {
+    clock: C,
+    process: ProcessId,
+    lag: u64,
+}
+
+impl<C: ClockSource> TimestampService<C> {
+    /// Creates a service reading its own time from `clock` as `process`, and
+    /// broadcasting `now − lag` (the paper uses `K = 15 s` locally and
+    /// `K = 60 s` in the cloud).
+    #[must_use]
+    pub fn new(clock: C, process: ProcessId, lag: u64) -> Self {
+        TimestampService {
+            clock,
+            process,
+            lag,
+        }
+    }
+
+    /// The lag constant `K`.
+    #[must_use]
+    pub fn lag(&self) -> u64 {
+        self.lag
+    }
+
+    /// Computes the broadcast value `T = now − K` as a purge bound timestamp.
+    ///
+    /// All process components compare greater than process 0 at the same
+    /// value, so the bound uses process id 0 to be a safe lower bound.
+    #[must_use]
+    pub fn broadcast(&self) -> Timestamp {
+        let now = self.clock.now(self.process);
+        Timestamp::new(now.saturating_sub(self.lag), 0)
+    }
+
+    /// Applies the client-side effect of a broadcast: advance a slow client's
+    /// clock to the broadcast value.
+    pub fn advance_client(&self, client_clock: &dyn ClockSource, client: ProcessId, bound: Timestamp) {
+        client_clock.advance_to(client, bound.value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GlobalClock;
+
+    #[test]
+    fn broadcast_lags_behind_now() {
+        let service = TimestampService::new(GlobalClock::starting_at(1000), ProcessId(99), 200);
+        let bound = service.broadcast();
+        assert!(bound.value >= 800 && bound.value <= 1000);
+        assert_eq!(service.lag(), 200);
+    }
+
+    #[test]
+    fn broadcast_saturates_at_zero() {
+        let service = TimestampService::new(GlobalClock::starting_at(5), ProcessId(0), 1000);
+        assert_eq!(service.broadcast().value, 0);
+    }
+
+    #[test]
+    fn advance_client_moves_slow_clocks() {
+        let service = TimestampService::new(GlobalClock::starting_at(1000), ProcessId(99), 100);
+        let client_clock = GlobalClock::starting_at(10);
+        let bound = service.broadcast();
+        service.advance_client(&client_clock, ProcessId(3), bound);
+        assert!(client_clock.now(ProcessId(3)) >= bound.value);
+    }
+}

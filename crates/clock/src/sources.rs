@@ -1,0 +1,355 @@
+//! Clock source implementations.
+
+use mvtl_common::{ProcessId, Timestamp};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A source of clock readings for transactions.
+///
+/// A reading is turned into a [`Timestamp`] by pairing it with the reading
+/// process's id, which guarantees uniqueness across processes (§4.1).
+pub trait ClockSource: Send + Sync {
+    /// Returns the current clock value as seen by `process`.
+    fn now(&self, process: ProcessId) -> u64;
+
+    /// Returns the current reading as a full timestamp `(value, process)`.
+    fn timestamp(&self, process: ProcessId) -> Timestamp {
+        Timestamp::new(self.now(process), process.0)
+    }
+
+    /// Advances the clock of `process` to at least `to`, if the source supports
+    /// it. Used by the timestamp service: "clients advance their local clocks
+    /// to T if they are behind" (§8.1). The default implementation does
+    /// nothing.
+    fn advance_to(&self, process: ProcessId, to: u64) {
+        let _ = (process, to);
+    }
+}
+
+impl<C: ClockSource + ?Sized> ClockSource for Arc<C> {
+    fn now(&self, process: ProcessId) -> u64 {
+        (**self).now(process)
+    }
+
+    fn advance_to(&self, process: ProcessId, to: u64) {
+        (**self).advance_to(process, to);
+    }
+}
+
+/// The discrete global clock of §2: a shared, strictly monotonic counter.
+///
+/// Every call to [`ClockSource::now`] returns a larger value than any previous
+/// call, across all processes. With this source, MVTO+/MVTL-TO never see the
+/// clock anomalies that cause serial aborts.
+#[derive(Debug, Default)]
+pub struct GlobalClock {
+    counter: AtomicU64,
+}
+
+impl GlobalClock {
+    /// Creates a global clock starting at 1 (0 is reserved for the initial version).
+    #[must_use]
+    pub fn new() -> Self {
+        GlobalClock {
+            counter: AtomicU64::new(1),
+        }
+    }
+
+    /// Creates a global clock starting at `start`.
+    #[must_use]
+    pub fn starting_at(start: u64) -> Self {
+        GlobalClock {
+            counter: AtomicU64::new(start),
+        }
+    }
+
+    /// Peeks at the current value without advancing it.
+    #[must_use]
+    pub fn peek(&self) -> u64 {
+        self.counter.load(Ordering::SeqCst)
+    }
+}
+
+impl ClockSource for GlobalClock {
+    fn now(&self, _process: ProcessId) -> u64 {
+        self.counter.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn advance_to(&self, _process: ProcessId, to: u64) {
+        self.counter.fetch_max(to, Ordering::SeqCst);
+    }
+}
+
+/// A per-process view of an underlying clock with a constant signed offset per
+/// process.
+///
+/// This models "modern multicore machines that do not guarantee that clocks
+/// across cores are perfectly synchronized" (§5.3): two processes reading the
+/// skewed clock back to back can observe decreasing values, which is exactly
+/// the anomaly behind serial aborts.
+pub struct SkewedClock<C> {
+    inner: C,
+    offsets: HashMap<u32, i64>,
+    advances: Mutex<HashMap<u32, u64>>,
+}
+
+impl<C: ClockSource> SkewedClock<C> {
+    /// Wraps `inner`, applying `offsets[process] ` to each reading. Processes
+    /// without an entry read the inner clock unmodified.
+    #[must_use]
+    pub fn new(inner: C, offsets: HashMap<u32, i64>) -> Self {
+        SkewedClock {
+            inner,
+            offsets,
+            advances: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The skew applied to `process`.
+    #[must_use]
+    pub fn offset(&self, process: ProcessId) -> i64 {
+        self.offsets.get(&process.0).copied().unwrap_or(0)
+    }
+}
+
+impl<C: ClockSource> ClockSource for SkewedClock<C> {
+    fn now(&self, process: ProcessId) -> u64 {
+        let base = self.inner.now(process);
+        let offset = self.offset(process);
+        let skewed = if offset >= 0 {
+            base.saturating_add(offset as u64)
+        } else {
+            base.saturating_sub(offset.unsigned_abs())
+        };
+        let advances = self.advances.lock();
+        let floor = advances.get(&process.0).copied().unwrap_or(0);
+        skewed.max(floor)
+    }
+
+    fn advance_to(&self, process: ProcessId, to: u64) {
+        let mut advances = self.advances.lock();
+        let entry = advances.entry(process.0).or_insert(0);
+        *entry = (*entry).max(to);
+    }
+}
+
+/// An ε-synchronized clock: a skewed clock whose per-process offsets are
+/// bounded by ε in absolute value (§2, §5.3).
+pub struct EpsilonClock<C> {
+    inner: SkewedClock<C>,
+    epsilon: u64,
+}
+
+impl<C: ClockSource> EpsilonClock<C> {
+    /// Wraps `inner` with the given per-process offsets, all of which must be
+    /// within `[-epsilon, +epsilon]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any offset exceeds ε in absolute value — that would violate
+    /// the algorithm's assumption and silently produce wrong conclusions.
+    #[must_use]
+    pub fn new(inner: C, epsilon: u64, offsets: HashMap<u32, i64>) -> Self {
+        for (p, off) in &offsets {
+            assert!(
+                off.unsigned_abs() <= epsilon,
+                "offset {off} of process {p} exceeds epsilon {epsilon}"
+            );
+        }
+        EpsilonClock {
+            inner: SkewedClock::new(inner, offsets),
+            epsilon,
+        }
+    }
+
+    /// The synchronization bound ε.
+    #[must_use]
+    pub fn epsilon(&self) -> u64 {
+        self.epsilon
+    }
+}
+
+impl<C: ClockSource> ClockSource for EpsilonClock<C> {
+    fn now(&self, process: ProcessId) -> u64 {
+        self.inner.now(process)
+    }
+
+    fn advance_to(&self, process: ProcessId, to: u64) {
+        self.inner.advance_to(process, to);
+    }
+}
+
+/// A scripted clock: each process has a queue of readings to return, after
+/// which the last reading repeats. Used by the verifier to pin the timestamps
+/// of the paper's schedules ("T1 gets timestamp 1, T2 gets timestamp 2, ...").
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    scripts: Mutex<HashMap<u32, Vec<u64>>>,
+    fallback: AtomicU64,
+}
+
+impl ManualClock {
+    /// Creates a manual clock with no scripted readings; unscripted processes
+    /// fall back to a shared monotonic counter.
+    #[must_use]
+    pub fn new() -> Self {
+        ManualClock {
+            scripts: Mutex::new(HashMap::new()),
+            fallback: AtomicU64::new(1),
+        }
+    }
+
+    /// Queues `readings` for `process` (returned in order; the last one repeats).
+    pub fn script(&self, process: ProcessId, readings: Vec<u64>) {
+        self.scripts.lock().insert(process.0, readings);
+    }
+}
+
+impl ClockSource for ManualClock {
+    fn now(&self, process: ProcessId) -> u64 {
+        let mut scripts = self.scripts.lock();
+        match scripts.get_mut(&process.0) {
+            Some(queue) if !queue.is_empty() => {
+                if queue.len() == 1 {
+                    queue[0]
+                } else {
+                    queue.remove(0)
+                }
+            }
+            _ => self.fallback.fetch_add(1, Ordering::SeqCst),
+        }
+    }
+}
+
+/// Wall-clock microseconds since the clock was created. Used by the threaded
+/// benchmarks where real elapsed time matters.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl SystemClock {
+    /// Creates a wall-clock source anchored at "now".
+    #[must_use]
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl ClockSource for SystemClock {
+    fn now(&self, _process: ProcessId) -> u64 {
+        // +1 so that no transaction ever observes the reserved value 0.
+        self.origin.elapsed().as_micros() as u64 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P0: ProcessId = ProcessId(0);
+    const P1: ProcessId = ProcessId(1);
+
+    #[test]
+    fn global_clock_is_strictly_monotonic() {
+        let clock = GlobalClock::new();
+        let a = clock.now(P0);
+        let b = clock.now(P1);
+        let c = clock.now(P0);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn global_clock_advance() {
+        let clock = GlobalClock::new();
+        clock.advance_to(P0, 1000);
+        assert!(clock.now(P0) >= 1000);
+    }
+
+    #[test]
+    fn timestamps_carry_process_ids() {
+        let clock = GlobalClock::new();
+        let t = clock.timestamp(ProcessId(7));
+        assert_eq!(t.process, 7);
+    }
+
+    #[test]
+    fn skewed_clock_can_go_backwards_across_processes() {
+        let mut offsets = HashMap::new();
+        offsets.insert(1u32, -100i64);
+        let clock = SkewedClock::new(GlobalClock::starting_at(1000), offsets);
+        let fast = clock.now(P0);
+        let slow = clock.now(P1);
+        assert!(slow < fast, "process 1 should observe an earlier time");
+    }
+
+    #[test]
+    fn skewed_clock_advance_sets_floor() {
+        let mut offsets = HashMap::new();
+        offsets.insert(1u32, -100i64);
+        let clock = SkewedClock::new(GlobalClock::starting_at(10), offsets);
+        clock.advance_to(P1, 500);
+        assert!(clock.now(P1) >= 500);
+        // Other processes are unaffected.
+        assert!(clock.now(P0) < 500);
+    }
+
+    #[test]
+    fn epsilon_clock_enforces_bound() {
+        let mut offsets = HashMap::new();
+        offsets.insert(0u32, 3i64);
+        offsets.insert(1u32, -4i64);
+        let clock = EpsilonClock::new(GlobalClock::new(), 5, offsets);
+        assert_eq!(clock.epsilon(), 5);
+        let _ = clock.now(P0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds epsilon")]
+    fn epsilon_clock_rejects_large_offsets() {
+        let mut offsets = HashMap::new();
+        offsets.insert(0u32, 10i64);
+        let _ = EpsilonClock::new(GlobalClock::new(), 5, offsets);
+    }
+
+    #[test]
+    fn manual_clock_returns_script_then_repeats() {
+        let clock = ManualClock::new();
+        clock.script(P0, vec![5, 9]);
+        assert_eq!(clock.now(P0), 5);
+        assert_eq!(clock.now(P0), 9);
+        assert_eq!(clock.now(P0), 9);
+        // Unscripted process uses the fallback counter.
+        let a = clock.now(P1);
+        let b = clock.now(P1);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn system_clock_is_nondecreasing() {
+        let clock = SystemClock::new();
+        let a = clock.now(P0);
+        let b = clock.now(P0);
+        assert!(b >= a);
+        assert!(a >= 1);
+    }
+
+    #[test]
+    fn arc_forwarding() {
+        let clock: Arc<GlobalClock> = Arc::new(GlobalClock::new());
+        let a = clock.now(P0);
+        clock.advance_to(P0, a + 100);
+        assert!(ClockSource::now(&clock, P0) >= a + 100);
+    }
+}

@@ -1,0 +1,163 @@
+//! Error types shared by every engine in the workspace.
+
+use crate::{Key, Timestamp};
+use std::error::Error;
+use std::fmt;
+
+/// The reason a transaction was aborted.
+///
+/// Every engine (all MVTL policies, MVTO+, 2PL) maps its own failure paths onto
+/// this shared vocabulary so that the workload harness can aggregate abort
+/// statistics uniformly and the theorem checks (`mvtl-verify`) can distinguish
+/// abort causes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AbortReason {
+    /// No single timestamp was locked across all accessed keys at commit time
+    /// (Algorithm 1 line 14): the MVTL commit-candidate set `T` was empty.
+    NoCommonTimestamp,
+    /// A write could not be validated or locked because of a conflicting read
+    /// or write by another transaction (MVTO+ write rejection, MVTIL interval
+    /// exhaustion, 2PL conflict resolved by abort).
+    WriteConflict {
+        /// Key on which the conflict occurred.
+        key: Key,
+    },
+    /// A read or lock wait exceeded the deadlock-resolution timeout (§4.3 and
+    /// the 2PL baseline of §8.1 both resolve deadlocks by timeout).
+    LockTimeout {
+        /// Key the transaction was waiting on.
+        key: Key,
+    },
+    /// The transaction needed a version that has been purged by the timestamp
+    /// service / garbage collector (§6, §8.1).
+    VersionPurged {
+        /// Key whose old version was purged.
+        key: Key,
+        /// Timestamp the transaction wanted to read below.
+        below: Timestamp,
+    },
+    /// The commitment object (distributed MVTL, §7/§H) decided abort, e.g.
+    /// because a server suspected the coordinator of having failed.
+    CommitmentDecidedAbort,
+    /// The user requested the abort.
+    UserRequested,
+    /// The transaction's candidate interval became empty while executing
+    /// (MVTIL interval shrinking left nothing lockable).
+    IntervalExhausted {
+        /// Key access that exhausted the interval.
+        key: Key,
+    },
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::NoCommonTimestamp => {
+                write!(f, "no common locked timestamp across accessed keys")
+            }
+            AbortReason::WriteConflict { key } => write!(f, "write conflict on {key}"),
+            AbortReason::LockTimeout { key } => write!(f, "lock wait timed out on {key}"),
+            AbortReason::VersionPurged { key, below } => {
+                write!(f, "needed version of {key} below {below} was purged")
+            }
+            AbortReason::CommitmentDecidedAbort => {
+                write!(f, "commitment object decided abort")
+            }
+            AbortReason::UserRequested => write!(f, "abort requested by user"),
+            AbortReason::IntervalExhausted { key } => {
+                write!(f, "candidate timestamp interval exhausted at {key}")
+            }
+        }
+    }
+}
+
+/// Errors returned by transactional operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxError {
+    /// The transaction was aborted for the given reason. After this error the
+    /// transaction must not be used further (other than being dropped).
+    Aborted(AbortReason),
+    /// The operation was applied to a transaction that already finished.
+    TransactionFinished,
+    /// An engine-specific invariant violation; indicates a bug, not a normal
+    /// abort. Carried as a message so it can cross crate boundaries.
+    Internal(String),
+}
+
+impl TxError {
+    /// Convenience constructor for an abort error.
+    #[must_use]
+    pub fn aborted(reason: AbortReason) -> Self {
+        TxError::Aborted(reason)
+    }
+
+    /// Returns the abort reason if this error is an abort.
+    #[must_use]
+    pub fn abort_reason(&self) -> Option<&AbortReason> {
+        match self {
+            TxError::Aborted(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether the error represents a (normal) abort rather than misuse or a bug.
+    #[must_use]
+    pub fn is_abort(&self) -> bool {
+        matches!(self, TxError::Aborted(_))
+    }
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::Aborted(reason) => write!(f, "transaction aborted: {reason}"),
+            TxError::TransactionFinished => {
+                write!(f, "operation on a transaction that already finished")
+            }
+            TxError::Internal(msg) => write!(f, "internal engine error: {msg}"),
+        }
+    }
+}
+
+impl Error for TxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_reason_accessors() {
+        let e = TxError::aborted(AbortReason::NoCommonTimestamp);
+        assert!(e.is_abort());
+        assert_eq!(e.abort_reason(), Some(&AbortReason::NoCommonTimestamp));
+        assert!(!TxError::TransactionFinished.is_abort());
+        assert_eq!(TxError::Internal("x".into()).abort_reason(), None);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let reasons = [
+            AbortReason::NoCommonTimestamp,
+            AbortReason::WriteConflict { key: Key(1) },
+            AbortReason::LockTimeout { key: Key(2) },
+            AbortReason::VersionPurged {
+                key: Key(3),
+                below: Timestamp::at(9),
+            },
+            AbortReason::CommitmentDecidedAbort,
+            AbortReason::UserRequested,
+            AbortReason::IntervalExhausted { key: Key(4) },
+        ];
+        for r in reasons {
+            let s = TxError::aborted(r).to_string();
+            assert!(!s.is_empty());
+            assert!(s.starts_with("transaction aborted"));
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error + Send + Sync> = Box::new(TxError::TransactionFinished);
+        assert!(e.to_string().contains("already finished"));
+    }
+}

@@ -1,0 +1,162 @@
+//! The transactional key-value interface implemented by every engine.
+//!
+//! The paper studies multiversion algorithms "in their broadest scope" (§1); we
+//! model the transactional storage system of §2 as a key-value store with
+//! `begin` / `read` / `write` / `commit` and drive every concurrency-control
+//! engine in the workspace (all MVTL policies, MVTO+, 2PL) through this single
+//! trait. That is what lets the workload harness, the serializability checker
+//! and the benchmarks compare protocols on identical inputs.
+
+use crate::{AbortReason, Key, ProcessId, Timestamp, TxError, TxId};
+
+/// Information reported by a successful commit.
+///
+/// Besides the commit timestamp, engines report the exact versions read and the
+/// keys written so that `mvtl-verify` can build the multiversion serialization
+/// graph of Appendix A without peeking into engine internals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitInfo {
+    /// Runtime id of the transaction.
+    pub tx: TxId,
+    /// Serialization timestamp, when the engine has one (all multiversion
+    /// engines do; single-version 2PL reports `None`).
+    pub commit_ts: Option<Timestamp>,
+    /// For each key read: the timestamp of the version whose value was
+    /// returned (`tr` in Algorithm 1). [`Timestamp::ZERO`] denotes the initial
+    /// `⊥` version.
+    pub reads: Vec<(Key, Timestamp)>,
+    /// Keys written by the transaction.
+    pub writes: Vec<Key>,
+}
+
+impl CommitInfo {
+    /// Whether the transaction was read-only.
+    #[must_use]
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+}
+
+/// Outcome of running a whole transaction attempt, used by the workload runner
+/// for statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxOutcome {
+    /// The attempt committed.
+    Committed(CommitInfo),
+    /// The attempt aborted for the given reason.
+    Aborted(AbortReason),
+}
+
+impl TxOutcome {
+    /// Whether this outcome is a commit.
+    #[must_use]
+    pub fn is_commit(&self) -> bool {
+        matches!(self, TxOutcome::Committed(_))
+    }
+
+    /// The commit info if the outcome is a commit.
+    #[must_use]
+    pub fn commit_info(&self) -> Option<&CommitInfo> {
+        match self {
+            TxOutcome::Committed(info) => Some(info),
+            TxOutcome::Aborted(_) => None,
+        }
+    }
+}
+
+/// A serializable transactional key-value store.
+///
+/// All engines in the workspace implement this trait. `V` is the value type;
+/// the paper's evaluation uses small strings, the benchmarks here use `u64`.
+///
+/// # Example
+///
+/// ```
+/// use mvtl_common::{Key, ProcessId, TransactionalKV, TxError};
+///
+/// fn transfer<S: TransactionalKV<u64>>(store: &S, from: Key, to: Key, amount: u64)
+///     -> Result<(), TxError>
+/// {
+///     let mut tx = store.begin(ProcessId(0));
+///     let a = store.read(&mut tx, from)?.unwrap_or(0);
+///     let b = store.read(&mut tx, to)?.unwrap_or(0);
+///     store.write(&mut tx, from, a.saturating_sub(amount))?;
+///     store.write(&mut tx, to, b + amount)?;
+///     store.commit(tx)?;
+///     Ok(())
+/// }
+/// ```
+pub trait TransactionalKV<V>: Send + Sync {
+    /// Per-transaction handle.
+    type Txn: Send;
+
+    /// Begins a transaction on behalf of `process`, optionally pinning the
+    /// clock value the transaction observes.
+    ///
+    /// Pinning exists so that the verifier can replay the paper's schedules
+    /// ("T1 gets timestamp 1, T2 gets timestamp 2, ..."); normal callers use
+    /// [`TransactionalKV::begin`].
+    fn begin_at(&self, process: ProcessId, pinned: Option<Timestamp>) -> Self::Txn;
+
+    /// Begins a transaction whose timestamp(s) come from the engine's clock.
+    fn begin(&self, process: ProcessId) -> Self::Txn {
+        self.begin_at(process, None)
+    }
+
+    /// Reads `key` within the transaction. Returns `Ok(None)` when the key has
+    /// never been written (the initial `⊥` version).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Aborted`] when the engine decides the transaction
+    /// cannot proceed (lock timeout, purged version, ...). After an abort error
+    /// the transaction must be passed to [`TransactionalKV::abort`].
+    fn read(&self, txn: &mut Self::Txn, key: Key) -> Result<Option<V>, TxError>;
+
+    /// Writes `value` to `key` within the transaction. The write is not visible
+    /// to other transactions until commit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Aborted`] when acquiring write locks eagerly fails
+    /// (policies that lock at write time) or when the transaction already
+    /// finished.
+    fn write(&self, txn: &mut Self::Txn, key: Key, value: V) -> Result<(), TxError>;
+
+    /// Attempts to commit the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Aborted`] when no serialization point could be found;
+    /// the transaction is fully cleaned up in that case.
+    fn commit(&self, txn: Self::Txn) -> Result<CommitInfo, TxError>;
+
+    /// Aborts the transaction, releasing any state it holds.
+    fn abort(&self, txn: Self::Txn);
+
+    /// A short human-readable name for reports ("mvtil-early", "mvto+", "2pl", ...).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_info_read_only() {
+        let info = CommitInfo {
+            tx: TxId(1),
+            commit_ts: Some(Timestamp::at(4)),
+            reads: vec![(Key(1), Timestamp::ZERO)],
+            writes: vec![],
+        };
+        assert!(info.is_read_only());
+        let outcome = TxOutcome::Committed(info.clone());
+        assert!(outcome.is_commit());
+        assert_eq!(outcome.commit_info(), Some(&info));
+        assert!(!TxOutcome::Aborted(AbortReason::UserRequested).is_commit());
+        assert!(TxOutcome::Aborted(AbortReason::UserRequested)
+            .commit_info()
+            .is_none());
+    }
+}

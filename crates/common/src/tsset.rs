@@ -1,0 +1,426 @@
+//! Sets of timestamps represented as sorted disjoint closed intervals.
+
+use crate::{Timestamp, TsRange};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of timestamps stored as sorted, disjoint, non-adjacent closed ranges.
+///
+/// `TsSet` is the workhorse of the reproduction: it represents
+///
+/// * the per-transaction candidate timestamps (`tx.TS` in the ε-clock and MVTIL
+///   algorithms, `PossTS` in MVTL-Pref),
+/// * the set of timestamps a transaction has locked on a key, and
+/// * the commit-time candidate set `T` of Algorithm 1 line 13, computed by
+///   intersecting the locked sets across all keys of the transaction.
+///
+/// All operations keep the canonical representation (sorted, disjoint, merged
+/// when adjacent), so equality is structural.
+#[derive(Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TsSet {
+    ranges: Vec<TsRange>,
+}
+
+impl TsSet {
+    /// The empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        TsSet { ranges: Vec::new() }
+    }
+
+    /// The empty set (alias, reads better in some call sites).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::new()
+    }
+
+    /// A set containing a single closed range.
+    #[must_use]
+    pub fn from_range(range: TsRange) -> Self {
+        TsSet {
+            ranges: vec![range],
+        }
+    }
+
+    /// A set containing a single timestamp.
+    #[must_use]
+    pub fn from_point(t: Timestamp) -> Self {
+        Self::from_range(TsRange::point(t))
+    }
+
+    /// Builds a set from arbitrary (possibly overlapping, unsorted) ranges.
+    #[must_use]
+    pub fn from_ranges<I: IntoIterator<Item = TsRange>>(iter: I) -> Self {
+        let mut set = TsSet::new();
+        for r in iter {
+            set.insert_range(r);
+        }
+        set
+    }
+
+    /// Whether the set contains no timestamps.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of disjoint ranges in the canonical representation.
+    #[must_use]
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The ranges of the canonical representation, sorted and disjoint.
+    #[must_use]
+    pub fn ranges(&self) -> &[TsRange] {
+        &self.ranges
+    }
+
+    /// Whether `t` belongs to the set.
+    #[must_use]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        self.ranges
+            .binary_search_by(|r| {
+                if r.end < t {
+                    std::cmp::Ordering::Less
+                } else if r.start > t {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Whether every timestamp of `range` belongs to the set.
+    #[must_use]
+    pub fn contains_range(&self, range: &TsRange) -> bool {
+        self.ranges.iter().any(|r| r.contains_range(range))
+    }
+
+    /// The smallest timestamp in the set, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<Timestamp> {
+        self.ranges.first().map(|r| r.start)
+    }
+
+    /// The largest timestamp in the set, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<Timestamp> {
+        self.ranges.last().map(|r| r.end)
+    }
+
+    /// Inserts one closed range, merging as needed.
+    pub fn insert_range(&mut self, range: TsRange) {
+        // Find all existing ranges that touch `range` and merge them into one.
+        let mut new_start = range.start;
+        let mut new_end = range.end;
+        let mut merged: Vec<TsRange> = Vec::with_capacity(self.ranges.len() + 1);
+        let mut placed = false;
+        for r in &self.ranges {
+            if r.touches(&TsRange::new(new_start, new_end)) {
+                new_start = new_start.min(r.start);
+                new_end = new_end.max(r.end);
+            } else if r.end < new_start {
+                merged.push(*r);
+            } else {
+                if !placed {
+                    merged.push(TsRange::new(new_start, new_end));
+                    placed = true;
+                }
+                merged.push(*r);
+            }
+        }
+        if !placed {
+            merged.push(TsRange::new(new_start, new_end));
+        }
+        self.ranges = merged;
+    }
+
+    /// Inserts a single timestamp.
+    pub fn insert(&mut self, t: Timestamp) {
+        self.insert_range(TsRange::point(t));
+    }
+
+    /// Removes every timestamp of `range` from the set.
+    pub fn remove_range(&mut self, range: TsRange) {
+        let mut out: Vec<TsRange> = Vec::with_capacity(self.ranges.len() + 1);
+        for r in &self.ranges {
+            if !r.overlaps(&range) {
+                out.push(*r);
+                continue;
+            }
+            // Left remainder.
+            if r.start < range.start {
+                out.push(TsRange::new(r.start, range.start.pred()));
+            }
+            // Right remainder.
+            if r.end > range.end {
+                out.push(TsRange::new(range.end.succ(), r.end));
+            }
+        }
+        self.ranges = out;
+    }
+
+    /// Keeps only the timestamps also contained in `range`.
+    pub fn intersect_range(&mut self, range: TsRange) {
+        let mut out = Vec::with_capacity(self.ranges.len());
+        for r in &self.ranges {
+            if let Some(i) = r.intersection(&range) {
+                out.push(i);
+            }
+        }
+        self.ranges = out;
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: &TsSet) -> TsSet {
+        let mut out = self.clone();
+        for r in &other.ranges {
+            out.insert_range(*r);
+        }
+        out
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(&self, other: &TsSet) -> TsSet {
+        let mut out = TsSet::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let a = self.ranges[i];
+            let b = other.ranges[j];
+            if let Some(r) = a.intersection(&b) {
+                out.ranges.push(r);
+            }
+            if a.end <= b.end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        out
+    }
+
+    /// Set difference (`self \ other`).
+    #[must_use]
+    pub fn difference(&self, other: &TsSet) -> TsSet {
+        let mut out = self.clone();
+        for r in &other.ranges {
+            out.remove_range(*r);
+        }
+        out
+    }
+
+    /// Iterates over the individual timestamps of the set.
+    ///
+    /// Only useful in tests for small sets; production code always works on
+    /// ranges.
+    pub fn iter_points(&self) -> impl Iterator<Item = Timestamp> + '_ {
+        self.ranges.iter().flat_map(|r| PointIter {
+            next: Some(r.start),
+            end: r.end,
+        })
+    }
+
+    /// Number of points in the set, saturating; only meaningful for sets whose
+    /// ranges are narrow (statistics and tests).
+    #[must_use]
+    pub fn approx_len(&self) -> u64 {
+        self.ranges
+            .iter()
+            .map(|r| r.approx_width().unwrap_or(u64::MAX).saturating_add(1))
+            .fold(0u64, u64::saturating_add)
+    }
+}
+
+struct PointIter {
+    next: Option<Timestamp>,
+    end: Timestamp,
+}
+
+impl Iterator for PointIter {
+    type Item = Timestamp;
+
+    fn next(&mut self) -> Option<Timestamp> {
+        let cur = self.next?;
+        if cur > self.end {
+            return None;
+        }
+        self.next = if cur == self.end { None } else { Some(cur.succ()) };
+        Some(cur)
+    }
+}
+
+impl fmt::Debug for TsSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, r) in self.ranges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<TsRange> for TsSet {
+    fn from_iter<I: IntoIterator<Item = TsRange>>(iter: I) -> Self {
+        TsSet::from_ranges(iter)
+    }
+}
+
+impl FromIterator<Timestamp> for TsSet {
+    fn from_iter<I: IntoIterator<Item = Timestamp>>(iter: I) -> Self {
+        TsSet::from_ranges(iter.into_iter().map(TsRange::point))
+    }
+}
+
+impl Extend<TsRange> for TsSet {
+    fn extend<I: IntoIterator<Item = TsRange>>(&mut self, iter: I) {
+        for r in iter {
+            self.insert_range(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: u64) -> Timestamp {
+        Timestamp::at(v)
+    }
+
+    fn r(a: u64, b: u64) -> TsRange {
+        TsRange::new(ts(a), ts(b))
+    }
+
+    #[test]
+    fn insert_merges_overlapping_ranges() {
+        let mut s = TsSet::new();
+        s.insert_range(r(1, 5));
+        s.insert_range(r(10, 20));
+        s.insert_range(r(4, 12));
+        assert_eq!(s.ranges().len(), 1);
+        assert_eq!(s.min(), Some(ts(1)));
+        assert_eq!(s.max(), Some(ts(20)));
+    }
+
+    #[test]
+    fn insert_merges_adjacent_ranges() {
+        let mut s = TsSet::new();
+        s.insert_range(r(1, 5));
+        // [5.1 .. 9] is adjacent to nothing at value granularity but
+        // touches [1,5] because 5.0.succ() == 5.1.
+        s.insert_range(TsRange::new(ts(5).succ(), ts(9)));
+        assert_eq!(s.range_count(), 1);
+        assert!(s.contains(ts(7)));
+    }
+
+    #[test]
+    fn disjoint_ranges_stay_disjoint() {
+        let mut s = TsSet::new();
+        s.insert_range(r(10, 20));
+        s.insert_range(r(1, 3));
+        s.insert_range(r(30, 40));
+        assert_eq!(s.range_count(), 3);
+        assert_eq!(s.ranges()[0], r(1, 3));
+        assert_eq!(s.ranges()[2], r(30, 40));
+    }
+
+    #[test]
+    fn contains_points() {
+        let s = TsSet::from_ranges([r(1, 3), r(7, 9)]);
+        assert!(s.contains(ts(1)));
+        assert!(s.contains(ts(9)));
+        assert!(!s.contains(ts(5)));
+        assert!(!s.contains(ts(0)));
+        assert!(!s.contains(ts(10)));
+    }
+
+    #[test]
+    fn remove_splits_ranges() {
+        let mut s = TsSet::from_range(r(1, 10));
+        s.remove_range(r(4, 6));
+        assert_eq!(s.range_count(), 2);
+        assert!(s.contains(ts(3)));
+        assert!(!s.contains(ts(5)));
+        assert!(s.contains(ts(7)));
+        // Boundaries at sub-value granularity.
+        assert!(s.contains(ts(4).pred()));
+        assert!(s.contains(ts(6).succ()));
+    }
+
+    #[test]
+    fn remove_entire_range() {
+        let mut s = TsSet::from_range(r(5, 9));
+        s.remove_range(r(1, 20));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn intersection_of_sets() {
+        let a = TsSet::from_ranges([r(1, 10), r(20, 30)]);
+        let b = TsSet::from_ranges([r(5, 25)]);
+        let i = a.intersection(&b);
+        assert_eq!(i.ranges(), &[r(5, 10), r(20, 25)]);
+        assert_eq!(i, b.intersection(&a));
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = TsSet::from_ranges([r(1, 5)]);
+        let b = TsSet::from_ranges([r(3, 8), r(10, 12)]);
+        let u = a.union(&b);
+        assert!(u.contains(ts(1)) && u.contains(ts(8)) && u.contains(ts(11)));
+        let d = b.difference(&a);
+        assert!(!d.contains(ts(4)));
+        assert!(d.contains(ts(6)));
+        assert!(d.contains(ts(10)));
+    }
+
+    #[test]
+    fn min_max_and_iteration() {
+        // Keep the ranges narrow (same clock value) so point iteration stays small.
+        let s = TsSet::from_ranges([
+            TsRange::new(Timestamp::new(2, 0), Timestamp::new(2, 3)),
+            TsRange::new(Timestamp::new(7, 1), Timestamp::new(7, 1)),
+        ]);
+        assert_eq!(s.min(), Some(Timestamp::new(2, 0)));
+        assert_eq!(s.max(), Some(Timestamp::new(7, 1)));
+        let pts: Vec<Timestamp> = s.iter_points().collect();
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0], Timestamp::new(2, 0));
+        assert_eq!(pts[4], Timestamp::new(7, 1));
+    }
+
+    #[test]
+    fn intersect_range_in_place() {
+        let mut s = TsSet::from_ranges([r(1, 10), r(20, 30)]);
+        s.intersect_range(r(8, 22));
+        assert_eq!(s.ranges(), &[r(8, 10), r(20, 22)]);
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let s = TsSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert!(!s.contains(ts(0)));
+        assert_eq!(s.intersection(&TsSet::from_range(r(1, 2))), TsSet::new());
+    }
+
+    #[test]
+    fn from_iterators() {
+        let s: TsSet = [ts(1), ts(2), ts(5)].into_iter().collect();
+        assert!(s.contains(ts(1)));
+        assert!(s.contains(ts(5)));
+        assert!(!s.contains(ts(4)));
+        let t: TsSet = [r(1, 2), r(4, 6)].into_iter().collect();
+        assert_eq!(t.range_count(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the `TsSet` interval-set algebra.
+//!
+//! The interval sets are the foundation of the whole reproduction (they encode
+//! lock state and per-transaction candidate timestamps), so their algebra must
+//! obey the usual set laws.
+
+use mvtl_common::{Timestamp, TsRange, TsSet};
+use proptest::prelude::*;
+
+/// Strategy producing timestamps on a small grid so that collisions and
+/// adjacency actually happen.
+fn arb_ts() -> impl Strategy<Value = Timestamp> {
+    (0u64..64, 0u32..4).prop_map(|(v, p)| Timestamp::new(v, p))
+}
+
+fn arb_range() -> impl Strategy<Value = TsRange> {
+    (arb_ts(), arb_ts()).prop_map(|(a, b)| {
+        if a <= b {
+            TsRange::new(a, b)
+        } else {
+            TsRange::new(b, a)
+        }
+    })
+}
+
+fn arb_set() -> impl Strategy<Value = TsSet> {
+    proptest::collection::vec(arb_range(), 0..8).prop_map(TsSet::from_ranges)
+}
+
+/// Reference membership check on a sampling grid.
+fn grid() -> Vec<Timestamp> {
+    let mut pts = Vec::new();
+    for v in 0..64u64 {
+        for p in 0..4u32 {
+            pts.push(Timestamp::new(v, p));
+        }
+    }
+    pts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn canonical_representation_is_sorted_and_disjoint(set in arb_set()) {
+        let ranges = set.ranges();
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].end < w[1].start, "ranges must be sorted and disjoint: {:?}", ranges);
+            // Not even adjacent: adjacency must have been merged.
+            prop_assert!(w[0].end.succ() < w[1].start || !w[0].touches(&w[1]),
+                "adjacent ranges must be merged: {:?}", ranges);
+        }
+    }
+
+    #[test]
+    fn union_membership_matches(a in arb_set(), b in arb_set()) {
+        let u = a.union(&b);
+        for t in grid() {
+            prop_assert_eq!(u.contains(t), a.contains(t) || b.contains(t));
+        }
+    }
+
+    #[test]
+    fn intersection_membership_matches(a in arb_set(), b in arb_set()) {
+        let i = a.intersection(&b);
+        for t in grid() {
+            prop_assert_eq!(i.contains(t), a.contains(t) && b.contains(t));
+        }
+    }
+
+    #[test]
+    fn difference_membership_matches(a in arb_set(), b in arb_set()) {
+        let d = a.difference(&b);
+        for t in grid() {
+            prop_assert_eq!(d.contains(t), a.contains(t) && !b.contains(t));
+        }
+    }
+
+    #[test]
+    fn intersection_is_commutative_and_idempotent(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        prop_assert_eq!(a.intersection(&a), a.clone());
+        prop_assert_eq!(a.union(&a), a.clone());
+    }
+
+    #[test]
+    fn insert_then_remove_restores_membership_outside(a in arb_set(), r in arb_range()) {
+        let mut with = a.clone();
+        with.insert_range(r);
+        let mut without = with.clone();
+        without.remove_range(r);
+        for t in grid() {
+            if r.contains(t) {
+                prop_assert!(with.contains(t));
+                prop_assert!(!without.contains(t));
+            } else {
+                prop_assert_eq!(with.contains(t), a.contains(t));
+                prop_assert_eq!(without.contains(t), a.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_are_extremes(a in arb_set()) {
+        if let (Some(lo), Some(hi)) = (a.min(), a.max()) {
+            prop_assert!(a.contains(lo));
+            prop_assert!(a.contains(hi));
+            for t in grid() {
+                if a.contains(t) {
+                    prop_assert!(lo <= t && t <= hi);
+                }
+            }
+        } else {
+            prop_assert!(a.is_empty());
+        }
+    }
+
+    #[test]
+    fn succ_pred_roundtrip(t in arb_ts()) {
+        prop_assert_eq!(t.succ().pred(), t);
+        prop_assert!(t.succ() > t);
+        if t != Timestamp::ZERO {
+            prop_assert!(t.pred() < t);
+        }
+    }
+
+    #[test]
+    fn range_intersection_consistent_with_contains(a in arb_range(), b in arb_range(), t in arb_ts()) {
+        let i = a.intersection(&b);
+        let both = a.contains(t) && b.contains(t);
+        match i {
+            Some(r) => prop_assert_eq!(both, r.contains(t)),
+            None => prop_assert!(!both),
+        }
+    }
+}

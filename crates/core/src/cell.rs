@@ -1,0 +1,48 @@
+//! The per-key cell: lock state + version chain behind one latch.
+
+use mvtl_locks::KeyLockState;
+use mvtl_storage::VersionChain;
+use parking_lot::{Condvar, Mutex};
+
+/// Data protected by a key's latch.
+///
+/// The paper's implementation stores, per key, "two skip lists, one for version
+/// state, one for lock state" under a per-entry latch (§8.1). Here the two
+/// lists are the interval lock table and the version chain.
+#[derive(Debug)]
+pub(crate) struct KeyData<V> {
+    pub locks: KeyLockState,
+    pub versions: VersionChain<V>,
+}
+
+impl<V: Clone> KeyData<V> {
+    pub(crate) fn new() -> Self {
+        KeyData {
+            locks: KeyLockState::new(),
+            versions: VersionChain::new(),
+        }
+    }
+}
+
+/// A key cell: the latched data plus a condition variable used to wait for
+/// unfrozen conflicting locks to be released or frozen.
+#[derive(Debug)]
+pub(crate) struct KeyCell<V> {
+    pub data: Mutex<KeyData<V>>,
+    pub changed: Condvar,
+}
+
+impl<V: Clone> KeyCell<V> {
+    pub(crate) fn new() -> Self {
+        KeyCell {
+            data: Mutex::new(KeyData::new()),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// Wakes every transaction waiting on this key (called after releasing or
+    /// freezing locks, or installing a version).
+    pub(crate) fn notify(&self) {
+        self.changed.notify_all();
+    }
+}

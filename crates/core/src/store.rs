@@ -1,0 +1,631 @@
+//! The MVTL storage engine (Algorithm 1).
+
+use crate::cell::KeyCell;
+use crate::policy::{LockingPolicy, PolicyCtx, ReadGrant};
+use crate::txn::{HeldLocks, MvtlTransaction, TxState};
+use crate::MvtlConfig;
+use mvtl_clock::ClockSource;
+use mvtl_common::{
+    AbortReason, CommitInfo, Key, LockMode, ProcessId, Timestamp, TransactionalKV, TsRange, TsSet,
+    TxError, TxStatus,
+};
+use parking_lot::RwLock;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Aggregate state-size statistics of a store, used by the Figure 6 experiment
+/// ("number of locks and versions as time passes").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of keys that have been touched at least once.
+    pub keys: usize,
+    /// Total committed versions currently stored.
+    pub versions: usize,
+    /// Total versions removed by purging so far.
+    pub purged_versions: usize,
+    /// Total interval lock entries currently stored.
+    pub lock_entries: usize,
+    /// How many of those lock entries are frozen.
+    pub frozen_lock_entries: usize,
+}
+
+/// The generic MVTL storage engine, parameterized by a [`LockingPolicy`].
+///
+/// `V` is the value type stored in versions. The engine is safe to share across
+/// threads (`&self` methods take per-key latches internally), mirroring the
+/// multi-threaded server of the paper's implementation (§8.1).
+pub struct MvtlStore<V, P> {
+    policy: P,
+    clock: Arc<dyn ClockSource>,
+    config: MvtlConfig,
+    shards: Vec<RwLock<HashMap<Key, Arc<KeyCell<V>>>>>,
+}
+
+impl<V, P> MvtlStore<V, P>
+where
+    V: Clone + Send + Sync + 'static,
+    P: LockingPolicy,
+{
+    /// Creates a store with the given policy, clock source and configuration.
+    #[must_use]
+    pub fn new(policy: P, clock: Arc<dyn ClockSource>, config: MvtlConfig) -> Self {
+        let shards = (0..config.shards.max(1))
+            .map(|_| RwLock::new(HashMap::new()))
+            .collect();
+        MvtlStore {
+            policy,
+            clock,
+            config,
+            shards,
+        }
+    }
+
+    /// The policy driving this store.
+    #[must_use]
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// The engine configuration.
+    #[must_use]
+    pub fn config(&self) -> &MvtlConfig {
+        &self.config
+    }
+
+    /// Begins a transaction, optionally pinning the clock value it observes and
+    /// optionally marking it critical (MVTL-Prio §5.2).
+    #[must_use]
+    pub fn begin_with(
+        &self,
+        process: ProcessId,
+        pinned: Option<Timestamp>,
+        priority: bool,
+    ) -> MvtlTransaction<V> {
+        let mut state = TxState::new(process, pinned);
+        state.priority = priority;
+        self.policy.init(self, &mut state);
+        MvtlTransaction::new(state)
+    }
+
+    /// Begins a critical (high-priority) transaction; only meaningful with
+    /// [`crate::policy::PrioPolicy`].
+    #[must_use]
+    pub fn begin_critical(&self, process: ProcessId) -> MvtlTransaction<V> {
+        self.begin_with(process, None, true)
+    }
+
+    /// Reads `key` within the transaction (Algorithm 1, `read`).
+    ///
+    /// Returns the transaction's own buffered write if it previously wrote the
+    /// key, otherwise the committed version selected by the policy, or `None`
+    /// for the initial `⊥` version.
+    ///
+    /// # Errors
+    ///
+    /// Returns an abort error if the policy could not acquire the read locks it
+    /// needs; the transaction is aborted in that case.
+    pub fn read(&self, txn: &mut MvtlTransaction<V>, key: Key) -> Result<Option<V>, TxError> {
+        if !txn.state.is_active() {
+            return Err(TxError::TransactionFinished);
+        }
+        if let Some(v) = txn.pending_write(key) {
+            return Ok(Some(v.clone()));
+        }
+        match self.policy.read_locks(self, &mut txn.state, key) {
+            Ok(version) => {
+                txn.state.read_set.push((key, version));
+                if version.is_zero() {
+                    return Ok(None);
+                }
+                let cell = self.cell(key);
+                let data = cell.data.lock();
+                Ok(data.versions.at(version).cloned())
+            }
+            Err(err) => {
+                self.abort_internal(&mut txn.state);
+                Err(err)
+            }
+        }
+    }
+
+    /// Writes `value` to `key` within the transaction (Algorithm 1, `write`).
+    /// The value stays buffered in the transaction until commit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an abort error if the policy acquires write locks eagerly and
+    /// fails; the transaction is aborted in that case.
+    pub fn write(&self, txn: &mut MvtlTransaction<V>, key: Key, value: V) -> Result<(), TxError> {
+        if !txn.state.is_active() {
+            return Err(TxError::TransactionFinished);
+        }
+        match self.policy.write_locks(self, &mut txn.state, key) {
+            Ok(()) => {
+                txn.buffer_write(key, value);
+                Ok(())
+            }
+            Err(err) => {
+                self.abort_internal(&mut txn.state);
+                Err(err)
+            }
+        }
+    }
+
+    /// Attempts to commit the transaction (Algorithm 1, `commit`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an abort error when no single timestamp is locked across all
+    /// accessed keys (line 14), or when the policy's commit-time locking fails.
+    pub fn commit(&self, mut txn: MvtlTransaction<V>) -> Result<CommitInfo, TxError> {
+        if !txn.state.is_active() {
+            return Err(TxError::TransactionFinished);
+        }
+        if let Err(err) = self.policy.commit_locks(self, &mut txn.state) {
+            self.abort_internal(&mut txn.state);
+            return Err(err);
+        }
+        // Line 13: find the timestamps locked across every accessed key.
+        let candidates = self.commit_candidates(&txn.state);
+        let chosen = if candidates.is_empty() {
+            None
+        } else {
+            self.policy.commit_ts(&txn.state, &candidates)
+        };
+        let commit_ts = match chosen {
+            Some(t) if candidates.contains(t) => t,
+            _ => {
+                self.abort_internal(&mut txn.state);
+                return Err(TxError::aborted(AbortReason::NoCommonTimestamp));
+            }
+        };
+        // Lines 17-19: freeze the write locks at the commit timestamp and
+        // expose the committed values. Both happen under the key's latch so
+        // that observers never see a frozen write lock without its version.
+        for (key, value) in std::mem::take(&mut txn.write_values) {
+            let cell = self.cell(key);
+            {
+                let mut data = cell.data.lock();
+                data.locks
+                    .freeze(txn.state.id, LockMode::Write, TsRange::point(commit_ts));
+                data.versions.install(commit_ts, value);
+            }
+            cell.notify();
+        }
+        txn.state.status = TxStatus::Committed;
+        txn.state.commit_ts = Some(commit_ts);
+        // Line 21: optional garbage collection.
+        if self.policy.commit_gc(&txn.state) {
+            self.gc_transaction(&txn.state, commit_ts);
+        }
+        Ok(CommitInfo {
+            tx: txn.state.id,
+            commit_ts: Some(commit_ts),
+            reads: txn.state.read_set.clone(),
+            writes: txn.state.write_keys.clone(),
+        })
+    }
+
+    /// Aborts the transaction, releasing its locks according to the policy.
+    pub fn abort(&self, mut txn: MvtlTransaction<V>) {
+        if txn.state.is_active() {
+            self.abort_internal(&mut txn.state);
+        }
+    }
+
+    /// Garbage collection for an ended transaction (Algorithm 1, `gc`): freeze
+    /// the read locks between each version read and the commit timestamp, then
+    /// release every remaining unfrozen lock.
+    fn gc_transaction(&self, tx: &TxState, commit_ts: Timestamp) {
+        for (key, version) in &tx.read_set {
+            let start = version.succ();
+            if start > commit_ts {
+                continue;
+            }
+            let cell = self.cell(*key);
+            {
+                let mut data = cell.data.lock();
+                data.locks
+                    .freeze(tx.id, LockMode::Read, TsRange::new(start, commit_ts));
+            }
+            cell.notify();
+        }
+        for key in tx.locked_keys() {
+            let cell = self.cell(key);
+            {
+                let mut data = cell.data.lock();
+                data.locks.release_unfrozen(tx.id);
+            }
+            cell.notify();
+        }
+    }
+
+    fn abort_internal(&self, tx: &mut TxState) {
+        let release_reads = self.policy.release_read_locks_on_abort();
+        for key in tx.locked_keys() {
+            let cell = self.cell(key);
+            {
+                let mut data = cell.data.lock();
+                if release_reads {
+                    data.locks.release_unfrozen(tx.id);
+                } else {
+                    // Emulating MVTO+: pending writes disappear but the
+                    // read-timestamp footprint (read locks) stays behind.
+                    data.locks
+                        .release_unfrozen_range(tx.id, LockMode::Write, TsRange::all());
+                }
+            }
+            cell.notify();
+        }
+        tx.status = TxStatus::Aborted;
+    }
+
+    /// The candidate commit timestamps of Algorithm 1 line 13: timestamps `t`
+    /// such that every read key is covered contiguously from the version read
+    /// up to `t` by locks the transaction holds, and every written key is
+    /// write-locked at `t`.
+    fn commit_candidates(&self, tx: &TxState) -> TsSet {
+        // Timestamp::ZERO is reserved for the initial ⊥ version, so no
+        // transaction may serialize there.
+        let mut candidates =
+            TsSet::from_range(TsRange::new(Timestamp::ZERO.succ(), Timestamp::MAX));
+        for (key, version) in &tx.read_set {
+            let held = tx
+                .locks_on(*key)
+                .map(HeldLocks::any)
+                .unwrap_or_default();
+            let start = version.succ();
+            let mut allowed = TsSet::new();
+            for range in held.ranges() {
+                if range.contains(start) {
+                    allowed = TsSet::from_range(TsRange::new(start, range.end));
+                    break;
+                }
+            }
+            candidates = candidates.intersection(&allowed);
+            if candidates.is_empty() {
+                return candidates;
+            }
+        }
+        for key in &tx.write_keys {
+            let write_held = tx
+                .locks_on(*key)
+                .map(|h| h.write.clone())
+                .unwrap_or_default();
+            candidates = candidates.intersection(&write_held);
+            if candidates.is_empty() {
+                return candidates;
+            }
+        }
+        candidates
+    }
+
+    /// Purges versions (and the associated lock state) older than `bound`,
+    /// keeping the most recent version of each key (§6, §8.1). Returns the
+    /// number of versions and lock entries removed.
+    pub fn purge_below(&self, bound: Timestamp) -> (usize, usize) {
+        let mut versions_removed = 0;
+        let mut locks_removed = 0;
+        for shard in &self.shards {
+            let cells: Vec<Arc<KeyCell<V>>> = shard.read().values().cloned().collect();
+            for cell in cells {
+                let mut data = cell.data.lock();
+                versions_removed += data.versions.purge_below(bound);
+                locks_removed += data.locks.purge_below(bound);
+                drop(data);
+                cell.notify();
+            }
+        }
+        (versions_removed, locks_removed)
+    }
+
+    /// Aggregate state-size statistics across all keys.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let mut stats = StoreStats::default();
+        for shard in &self.shards {
+            let cells: Vec<Arc<KeyCell<V>>> = shard.read().values().cloned().collect();
+            for cell in cells {
+                let data = cell.data.lock();
+                stats.keys += 1;
+                let vs = data.versions.stats();
+                stats.versions += vs.versions;
+                stats.purged_versions += vs.purged;
+                let ls = data.locks.stats();
+                stats.lock_entries += ls.entries;
+                stats.frozen_lock_entries += ls.frozen_entries;
+            }
+        }
+        stats
+    }
+
+    /// The committed value of `key` at the latest version strictly before
+    /// `before`, outside of any transaction. Intended for examples, tests and
+    /// debugging; regular access goes through transactions.
+    #[must_use]
+    pub fn snapshot_read(&self, key: Key, before: Timestamp) -> Option<V> {
+        let cell = self.cell(key);
+        let data = cell.data.lock();
+        match data.versions.latest_before(before) {
+            Ok((_, v)) => v,
+            Err(_) => None,
+        }
+    }
+
+    fn shard_for(&self, key: Key) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    fn cell(&self, key: Key) -> Arc<KeyCell<V>> {
+        let shard = &self.shards[self.shard_for(key)];
+        if let Some(cell) = shard.read().get(&key) {
+            return Arc::clone(cell);
+        }
+        let mut map = shard.write();
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(KeyCell::new())))
+    }
+}
+
+impl<V, P> PolicyCtx for MvtlStore<V, P>
+where
+    V: Clone + Send + Sync + 'static,
+    P: LockingPolicy,
+{
+    fn clock_value(&self, tx: &TxState, process: ProcessId) -> u64 {
+        match tx.pinned {
+            Some(ts) => ts.value,
+            None => self.clock.now(process),
+        }
+    }
+
+    fn acquire_read_interval(
+        &self,
+        tx: &mut TxState,
+        key: Key,
+        anchor_below: Timestamp,
+        mut upper: Timestamp,
+        wait: bool,
+    ) -> Result<ReadGrant, TxError> {
+        let cell = self.cell(key);
+        let deadline = Instant::now() + self.config.lock_wait_timeout;
+        let mut data = cell.data.lock();
+        loop {
+            let anchor = match data.versions.latest_before(anchor_below) {
+                Ok((t, _)) => t,
+                Err(bound) => {
+                    return Err(TxError::aborted(AbortReason::VersionPurged {
+                        key,
+                        below: bound,
+                    }))
+                }
+            };
+            if upper < anchor.succ() {
+                return Ok(ReadGrant {
+                    version: anchor,
+                    granted: TsSet::new(),
+                });
+            }
+            let desired = TsRange::new(anchor.succ(), upper);
+            let analysis = data.locks.analyze(tx.id, LockMode::Read, desired);
+            if analysis.hit_frozen() {
+                // A frozen write lock inside the window means a newer version
+                // exists (or is sealed) there; shrink the window to end just
+                // below it and retry, re-anchoring on the newer version when
+                // it is visible.
+                let frozen_at = analysis
+                    .first_frozen()
+                    .expect("hit_frozen implies a frozen point");
+                if frozen_at <= anchor.succ() {
+                    return Ok(ReadGrant {
+                        version: anchor,
+                        granted: TsSet::new(),
+                    });
+                }
+                upper = frozen_at.pred();
+                continue;
+            }
+            if !analysis.blocked_unfrozen.is_empty() {
+                if wait {
+                    if cell.changed.wait_until(&mut data, deadline).timed_out() {
+                        return Err(TxError::aborted(AbortReason::LockTimeout { key }));
+                    }
+                    continue;
+                }
+                // No waiting: lock only the contiguous prefix that is free.
+                let granted = match analysis.contiguous_grantable_end(anchor.succ()) {
+                    None => TsSet::new(),
+                    Some(end) => TsSet::from_range(TsRange::new(anchor.succ(), end)),
+                };
+                data.locks.acquire(tx.id, LockMode::Read, &granted);
+                tx.record_read_locks(key, &granted);
+                return Ok(ReadGrant {
+                    version: anchor,
+                    granted,
+                });
+            }
+            let granted = analysis.grantable;
+            data.locks.acquire(tx.id, LockMode::Read, &granted);
+            tx.record_read_locks(key, &granted);
+            return Ok(ReadGrant {
+                version: anchor,
+                granted,
+            });
+        }
+    }
+
+    fn acquire_write_range(
+        &self,
+        tx: &mut TxState,
+        key: Key,
+        desired: TsRange,
+        wait: bool,
+    ) -> Result<TsSet, TxError> {
+        let cell = self.cell(key);
+        let deadline = Instant::now() + self.config.lock_wait_timeout;
+        let mut data = cell.data.lock();
+        loop {
+            let analysis = data.locks.analyze(tx.id, LockMode::Write, desired);
+            if wait && !analysis.blocked_unfrozen.is_empty() {
+                if cell.changed.wait_until(&mut data, deadline).timed_out() {
+                    return Err(TxError::aborted(AbortReason::LockTimeout { key }));
+                }
+                continue;
+            }
+            let granted = analysis.grantable;
+            data.locks.acquire(tx.id, LockMode::Write, &granted);
+            tx.record_write_locks(key, &granted);
+            return Ok(granted);
+        }
+    }
+
+    fn release_unfrozen_write_locks(&self, tx: &mut TxState) {
+        for key in tx.locked_keys() {
+            let has_writes = tx
+                .locks_on(key)
+                .map(|h| !h.write.is_empty())
+                .unwrap_or(false);
+            if !has_writes {
+                continue;
+            }
+            let cell = self.cell(key);
+            {
+                let mut data = cell.data.lock();
+                data.locks
+                    .release_unfrozen_range(tx.id, LockMode::Write, TsRange::all());
+            }
+            cell.notify();
+        }
+        tx.clear_write_locks();
+    }
+
+    fn latest_version_before(&self, key: Key, below: Timestamp) -> Result<Timestamp, TxError> {
+        let cell = self.cell(key);
+        let data = cell.data.lock();
+        match data.versions.latest_before(below) {
+            Ok((t, _)) => Ok(t),
+            Err(bound) => Err(TxError::aborted(AbortReason::VersionPurged {
+                key,
+                below: bound,
+            })),
+        }
+    }
+}
+
+impl<V, P> TransactionalKV<V> for MvtlStore<V, P>
+where
+    V: Clone + Send + Sync + 'static,
+    P: LockingPolicy,
+{
+    type Txn = MvtlTransaction<V>;
+
+    fn begin_at(&self, process: ProcessId, pinned: Option<Timestamp>) -> Self::Txn {
+        self.begin_with(process, pinned, false)
+    }
+
+    fn read(&self, txn: &mut Self::Txn, key: Key) -> Result<Option<V>, TxError> {
+        MvtlStore::read(self, txn, key)
+    }
+
+    fn write(&self, txn: &mut Self::Txn, key: Key, value: V) -> Result<(), TxError> {
+        MvtlStore::write(self, txn, key, value)
+    }
+
+    fn commit(&self, txn: Self::Txn) -> Result<CommitInfo, TxError> {
+        MvtlStore::commit(self, txn)
+    }
+
+    fn abort(&self, txn: Self::Txn) {
+        MvtlStore::abort(self, txn);
+    }
+
+    fn name(&self) -> &'static str {
+        self.policy.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ToPolicy;
+    use mvtl_clock::GlobalClock;
+
+    fn store() -> MvtlStore<u64, ToPolicy> {
+        MvtlStore::new(
+            ToPolicy::new(),
+            Arc::new(GlobalClock::new()),
+            MvtlConfig::default(),
+        )
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let s = store();
+        let mut tx = s.begin(ProcessId(0));
+        s.write(&mut tx, Key(1), 7).unwrap();
+        assert_eq!(s.read(&mut tx, Key(1)).unwrap(), Some(7));
+        s.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn operations_on_finished_transactions_fail() {
+        let s = store();
+        let mut tx = s.begin(ProcessId(0));
+        s.write(&mut tx, Key(1), 7).unwrap();
+        let info = s.commit(tx).unwrap();
+        assert_eq!(info.writes, vec![Key(1)]);
+
+        let mut tx2 = s.begin(ProcessId(0));
+        s.abort(tx2);
+        tx2 = s.begin(ProcessId(0));
+        let _ = s.read(&mut tx2, Key(1)).unwrap();
+        s.commit(tx2).unwrap();
+    }
+
+    #[test]
+    fn snapshot_read_sees_committed_state() {
+        let s = store();
+        let mut tx = s.begin(ProcessId(0));
+        s.write(&mut tx, Key(5), 99).unwrap();
+        s.commit(tx).unwrap();
+        assert_eq!(s.snapshot_read(Key(5), Timestamp::MAX), Some(99));
+        assert_eq!(s.snapshot_read(Key(6), Timestamp::MAX), None);
+    }
+
+    #[test]
+    fn stats_count_state() {
+        let s = store();
+        for i in 0..5u64 {
+            let mut tx = s.begin(ProcessId(0));
+            s.write(&mut tx, Key(i), i).unwrap();
+            s.commit(tx).unwrap();
+        }
+        let stats = s.stats();
+        assert_eq!(stats.keys, 5);
+        assert_eq!(stats.versions, 5);
+        assert!(stats.lock_entries >= 5);
+        assert!(stats.frozen_lock_entries >= 5);
+    }
+
+    #[test]
+    fn purge_removes_old_versions() {
+        let s = store();
+        for round in 0..3u64 {
+            let mut tx = s.begin(ProcessId(0));
+            s.write(&mut tx, Key(1), round).unwrap();
+            s.commit(tx).unwrap();
+        }
+        assert_eq!(s.stats().versions, 3);
+        let (versions_removed, _locks_removed) = s.purge_below(Timestamp::MAX);
+        assert_eq!(versions_removed, 2);
+        assert_eq!(s.stats().versions, 1);
+        // The latest value is still readable.
+        let mut tx = s.begin(ProcessId(0));
+        assert_eq!(s.read(&mut tx, Key(1)).unwrap(), Some(2));
+        s.commit(tx).unwrap();
+    }
+}

@@ -1,0 +1,246 @@
+//! Per-transaction state.
+
+use mvtl_common::{Key, ProcessId, Timestamp, TsSet, TxId, TxStatus};
+use std::collections::HashMap;
+
+/// Locks a transaction holds on one key, as recorded on the transaction side.
+///
+/// The authoritative lock state lives in the per-key cell; this mirror exists
+/// so that commit (Algorithm 1 line 13) can compute the candidate timestamp set
+/// without re-latching every key, and so that abort/GC know what to release.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeldLocks {
+    /// Timestamps read-locked on the key.
+    pub read: TsSet,
+    /// Timestamps write-locked on the key.
+    pub write: TsSet,
+}
+
+impl HeldLocks {
+    /// Union of read- and write-locked timestamps.
+    #[must_use]
+    pub fn any(&self) -> TsSet {
+        self.read.union(&self.write)
+    }
+}
+
+/// The policy-visible state of a transaction.
+///
+/// This corresponds to the `tx` record of Algorithm 1 plus the per-policy
+/// variables of §5 (`tx.TS`, `tx.PrefTS`, `tx.PossTS`, the priority flag).
+#[derive(Debug, Clone)]
+pub struct TxState {
+    /// Unique transaction id (lock owner).
+    pub id: TxId,
+    /// Process executing the transaction (timestamp tie-breaker).
+    pub process: ProcessId,
+    /// Lifecycle status.
+    pub status: TxStatus,
+    /// `tx.readset`: keys read and the version timestamp each read returned.
+    pub read_set: Vec<(Key, Timestamp)>,
+    /// `tx.writeset` keys (values are kept by [`crate::MvtlTransaction`], which
+    /// owns the value type).
+    pub write_keys: Vec<Key>,
+    /// Locks held per key, mirrored from the per-key cells.
+    pub held: HashMap<Key, HeldLocks>,
+    /// The candidate timestamps the policy is still considering
+    /// (`tx.TS` for ε-clock/MVTIL, `PossTS` for MVTL-Pref).
+    pub ts_set: TsSet,
+    /// The timestamp obtained from the clock at begin, when the policy uses one
+    /// (`tx.TS` for MVTL-TO, `tx.PrefTS` for MVTL-Pref).
+    pub start_ts: Option<Timestamp>,
+    /// The commit timestamp chosen by `commit-locks`, if the policy picks one
+    /// before the generic candidate intersection.
+    pub chosen_ts: Option<Timestamp>,
+    /// Whether this transaction is critical (MVTL-Prio §5.2).
+    pub priority: bool,
+    /// Clock value pinned by the caller (used by the verifier to replay the
+    /// paper's schedules); `None` means "read the engine clock".
+    pub pinned: Option<Timestamp>,
+    /// The commit timestamp assigned when the transaction committed.
+    pub commit_ts: Option<Timestamp>,
+}
+
+impl TxState {
+    /// Creates the state of a freshly begun transaction.
+    #[must_use]
+    pub fn new(process: ProcessId, pinned: Option<Timestamp>) -> Self {
+        TxState {
+            id: TxId::fresh(),
+            process,
+            status: TxStatus::Active,
+            read_set: Vec::new(),
+            write_keys: Vec::new(),
+            held: HashMap::new(),
+            ts_set: TsSet::new(),
+            start_ts: None,
+            chosen_ts: None,
+            priority: false,
+            pinned,
+            commit_ts: None,
+        }
+    }
+
+    /// Whether the transaction is still active.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.status == TxStatus::Active
+    }
+
+    /// Records locks granted on `key`.
+    pub fn record_read_locks(&mut self, key: Key, granted: &TsSet) {
+        if granted.is_empty() {
+            return;
+        }
+        let held = self.held.entry(key).or_default();
+        held.read = held.read.union(granted);
+    }
+
+    /// Records write locks granted on `key`.
+    pub fn record_write_locks(&mut self, key: Key, granted: &TsSet) {
+        if granted.is_empty() {
+            return;
+        }
+        let held = self.held.entry(key).or_default();
+        held.write = held.write.union(granted);
+    }
+
+    /// Forgets the unfrozen write locks recorded for every key (mirror of a
+    /// "release all write locks" step in a policy).
+    pub fn clear_write_locks(&mut self) {
+        for held in self.held.values_mut() {
+            held.write = TsSet::new();
+        }
+    }
+
+    /// Locks held on `key`, if any.
+    #[must_use]
+    pub fn locks_on(&self, key: Key) -> Option<&HeldLocks> {
+        self.held.get(&key)
+    }
+
+    /// Every key on which the transaction holds (or held) locks.
+    #[must_use]
+    pub fn locked_keys(&self) -> Vec<Key> {
+        let mut keys: Vec<Key> = self.held.keys().copied().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Adds `key` to the write set if not already present.
+    pub fn note_write_key(&mut self, key: Key) {
+        if !self.write_keys.contains(&key) {
+            self.write_keys.push(key);
+        }
+    }
+}
+
+/// A transaction handle returned by [`crate::MvtlStore::begin`].
+///
+/// It owns the buffered writes ("the write is not visible to other transactions
+/// until the transaction commits", §4.3) and the policy-visible [`TxState`].
+#[derive(Debug)]
+pub struct MvtlTransaction<V> {
+    /// Policy-visible state.
+    pub(crate) state: TxState,
+    /// Buffered writes, last value per key wins.
+    pub(crate) write_values: Vec<(Key, V)>,
+}
+
+impl<V> MvtlTransaction<V> {
+    pub(crate) fn new(state: TxState) -> Self {
+        MvtlTransaction {
+            state,
+            write_values: Vec::new(),
+        }
+    }
+
+    /// The transaction id.
+    #[must_use]
+    pub fn id(&self) -> TxId {
+        self.state.id
+    }
+
+    /// The policy-visible state (for inspection and tests).
+    #[must_use]
+    pub fn state(&self) -> &TxState {
+        &self.state
+    }
+
+    /// Marks the transaction as critical (MVTL-Prio). Must be called before the
+    /// first operation to have any effect on locking behaviour.
+    pub fn set_priority(&mut self, critical: bool) {
+        self.state.priority = critical;
+    }
+
+    pub(crate) fn buffer_write(&mut self, key: Key, value: V) {
+        if let Some(slot) = self.write_values.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.write_values.push((key, value));
+        }
+        self.state.note_write_key(key);
+    }
+
+    /// The value this transaction has buffered for `key`, if it wrote it.
+    #[must_use]
+    pub fn pending_write(&self, key: Key) -> Option<&V> {
+        self.write_values
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvtl_common::TsRange;
+
+    #[test]
+    fn record_and_query_locks() {
+        let mut tx = TxState::new(ProcessId(1), None);
+        assert!(tx.is_active());
+        let r = TsSet::from_range(TsRange::new(Timestamp::at(1), Timestamp::at(5)));
+        tx.record_read_locks(Key(9), &r);
+        tx.record_write_locks(Key(9), &TsSet::from_point(Timestamp::at(7)));
+        let held = tx.locks_on(Key(9)).unwrap();
+        assert!(held.read.contains(Timestamp::at(3)));
+        assert!(held.write.contains(Timestamp::at(7)));
+        assert!(held.any().contains(Timestamp::at(3)));
+        assert!(held.any().contains(Timestamp::at(7)));
+        assert_eq!(tx.locked_keys(), vec![Key(9)]);
+
+        tx.clear_write_locks();
+        assert!(tx.locks_on(Key(9)).unwrap().write.is_empty());
+        assert!(!tx.locks_on(Key(9)).unwrap().read.is_empty());
+    }
+
+    #[test]
+    fn empty_grants_are_not_recorded() {
+        let mut tx = TxState::new(ProcessId(0), None);
+        tx.record_read_locks(Key(1), &TsSet::new());
+        assert!(tx.locks_on(Key(1)).is_none());
+    }
+
+    #[test]
+    fn write_buffer_upserts() {
+        let mut tx: MvtlTransaction<u64> = MvtlTransaction::new(TxState::new(ProcessId(0), None));
+        tx.buffer_write(Key(1), 10);
+        tx.buffer_write(Key(2), 20);
+        tx.buffer_write(Key(1), 11);
+        assert_eq!(tx.pending_write(Key(1)), Some(&11));
+        assert_eq!(tx.pending_write(Key(2)), Some(&20));
+        assert_eq!(tx.pending_write(Key(3)), None);
+        assert_eq!(tx.state().write_keys, vec![Key(1), Key(2)]);
+        assert_eq!(tx.write_values.len(), 2);
+    }
+
+    #[test]
+    fn note_write_key_deduplicates() {
+        let mut tx = TxState::new(ProcessId(0), None);
+        tx.note_write_key(Key(4));
+        tx.note_write_key(Key(4));
+        assert_eq!(tx.write_keys, vec![Key(4)]);
+    }
+}

@@ -1,0 +1,125 @@
+//! The discrete-event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Outcome of a server-side operation, carried back to the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpResult {
+    /// The operation succeeded; the client moves on to the next one.
+    Ok,
+    /// The operation was blocked by an *unfrozen* conflicting lock. The paper's
+    /// algorithms wait in this situation; the simulated client re-issues the
+    /// operation (one more round trip) until its per-operation deadline passes.
+    Retry,
+    /// The operation cannot succeed (frozen conflict, purged version, empty
+    /// interval): the transaction must abort.
+    Abort,
+}
+
+/// Kinds of events processed by the simulation loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    /// A response for the client's current operation arrived back at the
+    /// client.
+    OpResponse {
+        /// Client the response is for.
+        client: usize,
+        /// Transaction attempt the response belongs to (stale responses for
+        /// older attempts are ignored).
+        attempt: u64,
+        /// Outcome of the operation.
+        outcome: OpResult,
+    },
+    /// A lock-wait (2PL) or pending-write-lock (§H) timeout fired.
+    LockTimeout {
+        /// Client whose wait timed out.
+        client: usize,
+        /// Attempt the wait belonged to.
+        attempt: u64,
+    },
+    /// The timestamp service broadcasts `T = now − K`; servers purge.
+    GcBroadcast,
+    /// Periodic sampling of the state-size and throughput series.
+    Sample,
+    /// End of the measured run.
+    End,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Event {
+    pub time: u64,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so that the BinaryHeap acts as a min-heap on (time, seq).
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    pub fn push(&mut self, time: u64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_result_equality() {
+        assert_eq!(OpResult::Ok, OpResult::Ok);
+        assert_ne!(OpResult::Retry, OpResult::Abort);
+    }
+
+    #[test]
+    fn pops_in_time_then_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(10, EventKind::Sample);
+        q.push(5, EventKind::GcBroadcast);
+        q.push(10, EventKind::End);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().kind, EventKind::GcBroadcast);
+        let a = q.pop().unwrap();
+        let b = q.pop().unwrap();
+        assert_eq!(a.time, 10);
+        assert_eq!(a.kind, EventKind::Sample);
+        assert_eq!(b.kind, EventKind::End);
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,103 @@
+//! Metrics reported by the simulation: exactly what the paper plots.
+
+/// One sample of the time series collected during a run (used for Figures 6
+/// and 7: state size and performance as time passes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Virtual time of the sample, in seconds from the start of the run.
+    pub time_secs: f64,
+    /// Transactions committed during the preceding sample interval, scaled to
+    /// transactions per second.
+    pub throughput_tps: f64,
+    /// Commit rate during the preceding sample interval.
+    pub commit_rate: f64,
+    /// Total interval-lock entries stored across all servers.
+    pub locks: usize,
+    /// Total versions stored across all servers.
+    pub versions: usize,
+}
+
+/// Aggregate metrics of one simulated run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimMetrics {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Committed transactions during the measured window.
+    pub committed: u64,
+    /// Aborted transaction attempts during the measured window.
+    pub aborted: u64,
+    /// Virtual duration of the measured window, in seconds.
+    pub duration_secs: f64,
+    /// Time series sampled during the run.
+    pub series: Vec<SeriesPoint>,
+    /// Final number of lock entries across all servers.
+    pub final_locks: usize,
+    /// Final number of versions across all servers.
+    pub final_versions: usize,
+    /// Total messages exchanged between clients and servers.
+    pub messages: u64,
+    /// Transactions aborted specifically because the commitment object decided
+    /// abort after a coordinator failure (§H).
+    pub commitment_aborts: u64,
+}
+
+impl SimMetrics {
+    /// Committed transactions per virtual second.
+    #[must_use]
+    pub fn throughput_tps(&self) -> f64 {
+        if self.duration_secs <= 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / self.duration_secs
+        }
+    }
+
+    /// Fraction of transaction attempts that committed.
+    #[must_use]
+    pub fn commit_rate(&self) -> f64 {
+        let attempts = self.committed + self.aborted;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.committed as f64 / attempts as f64
+        }
+    }
+
+    /// Messages per committed transaction (communication efficiency, §H).
+    #[must_use]
+    pub fn messages_per_commit(&self) -> f64 {
+        if self.committed == 0 {
+            f64::INFINITY
+        } else {
+            self.messages as f64 / self.committed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let m = SimMetrics {
+            protocol: "MVTIL-early",
+            committed: 900,
+            aborted: 100,
+            duration_secs: 10.0,
+            messages: 9_000,
+            ..SimMetrics::default()
+        };
+        assert!((m.throughput_tps() - 90.0).abs() < f64::EPSILON);
+        assert!((m.commit_rate() - 0.9).abs() < f64::EPSILON);
+        assert!((m.messages_per_commit() - 10.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let m = SimMetrics::default();
+        assert_eq!(m.throughput_tps(), 0.0);
+        assert_eq!(m.commit_rate(), 0.0);
+        assert!(m.messages_per_commit().is_infinite());
+    }
+}

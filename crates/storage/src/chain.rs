@@ -1,0 +1,243 @@
+//! Per-key chains of committed versions.
+
+use crate::VersionStats;
+use mvtl_common::Timestamp;
+use std::collections::BTreeMap;
+
+/// A single committed version of a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Version<V> {
+    /// Commit timestamp of the transaction that produced the version.
+    pub timestamp: Timestamp,
+    /// The committed value.
+    pub value: V,
+}
+
+/// The committed versions of one key, ordered by timestamp.
+///
+/// The implicit initial version `⊥` at [`Timestamp::ZERO`] is always present
+/// conceptually: [`VersionChain::latest_before`] returns
+/// `(Timestamp::ZERO, None)` when no committed version precedes the requested
+/// timestamp, matching the paper's `Values[k, 0] = ⊥`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionChain<V> {
+    versions: BTreeMap<Timestamp, V>,
+    purged_below: Timestamp,
+    purged_count: usize,
+}
+
+impl<V> Default for VersionChain<V> {
+    fn default() -> Self {
+        VersionChain {
+            versions: BTreeMap::new(),
+            purged_below: Timestamp::ZERO,
+            purged_count: 0,
+        }
+    }
+}
+
+impl<V: Clone> VersionChain<V> {
+    /// Creates a chain holding only the implicit initial `⊥` version.
+    #[must_use]
+    pub fn new() -> Self {
+        VersionChain::default()
+    }
+
+    /// Installs a committed version at `ts`.
+    ///
+    /// Timestamps are unique per committing transaction (§4.1), so installing
+    /// twice at the same timestamp indicates an engine bug; the newer value
+    /// wins and the previous value is returned for the caller to detect it.
+    pub fn install(&mut self, ts: Timestamp, value: V) -> Option<V> {
+        self.versions.insert(ts, value)
+    }
+
+    /// The version with the largest timestamp strictly before `ts`.
+    ///
+    /// Returns the version's timestamp and its value; `(Timestamp::ZERO, None)`
+    /// stands for the initial `⊥` version. Returns `Err(purged_below)` when the
+    /// requested read would need a version that has been purged (§6: such
+    /// transactions must abort).
+    pub fn latest_before(&self, ts: Timestamp) -> Result<(Timestamp, Option<V>), Timestamp> {
+        match self.versions.range(..ts).next_back() {
+            Some((t, v)) => Ok((*t, Some(v.clone()))),
+            None => {
+                if self.purged_count > 0 && ts <= self.purged_below {
+                    // Versions below purged_below were discarded; a read below
+                    // that bound can no longer be served correctly.
+                    Err(self.purged_below)
+                } else {
+                    Ok((Timestamp::ZERO, None))
+                }
+            }
+        }
+    }
+
+    /// The value committed exactly at `ts`, if any.
+    #[must_use]
+    pub fn at(&self, ts: Timestamp) -> Option<&V> {
+        self.versions.get(&ts)
+    }
+
+    /// The largest committed timestamp, if any version exists.
+    #[must_use]
+    pub fn latest(&self) -> Option<(Timestamp, &V)> {
+        self.versions.iter().next_back().map(|(t, v)| (*t, v))
+    }
+
+    /// Purges versions with timestamp below `bound`, keeping the most recent
+    /// version below the bound so that reads above the bound still succeed
+    /// (§6: "we can purge versions with timestamps below the bound except the
+    /// last one before the bound").
+    ///
+    /// Returns how many versions were removed.
+    pub fn purge_below(&mut self, bound: Timestamp) -> usize {
+        let keep_latest_below = self
+            .versions
+            .range(..bound)
+            .next_back()
+            .map(|(t, _)| *t);
+        let to_remove: Vec<Timestamp> = self
+            .versions
+            .range(..bound)
+            .map(|(t, _)| *t)
+            .filter(|t| Some(*t) != keep_latest_below)
+            .collect();
+        let removed = to_remove.len();
+        for t in to_remove {
+            self.versions.remove(&t);
+        }
+        if bound > self.purged_below {
+            self.purged_below = bound;
+        }
+        self.purged_count += removed;
+        removed
+    }
+
+    /// Number of committed versions currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Whether no committed version exists (only the implicit `⊥`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Iterates over the committed versions in timestamp order.
+    pub fn iter(&self) -> impl Iterator<Item = Version<V>> + '_ {
+        self.versions.iter().map(|(t, v)| Version {
+            timestamp: *t,
+            value: v.clone(),
+        })
+    }
+
+    /// The purge bound below which old versions have been discarded.
+    #[must_use]
+    pub fn purged_below(&self) -> Timestamp {
+        self.purged_below
+    }
+
+    /// Statistics for this chain.
+    #[must_use]
+    pub fn stats(&self) -> VersionStats {
+        VersionStats {
+            versions: self.versions.len(),
+            purged: self.purged_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: u64) -> Timestamp {
+        Timestamp::at(v)
+    }
+
+    #[test]
+    fn empty_chain_reads_bottom() {
+        let chain: VersionChain<u64> = VersionChain::new();
+        assert_eq!(chain.latest_before(ts(100)), Ok((Timestamp::ZERO, None)));
+        assert!(chain.is_empty());
+        assert_eq!(chain.latest(), None);
+    }
+
+    #[test]
+    fn latest_before_picks_largest_smaller_timestamp() {
+        // The example of §3: X has versions a@2 and b@9.
+        let mut chain = VersionChain::new();
+        chain.install(ts(2), "a");
+        chain.install(ts(9), "b");
+        assert_eq!(chain.latest_before(ts(6)), Ok((ts(2), Some("a"))));
+        assert_eq!(chain.latest_before(ts(10)), Ok((ts(9), Some("b"))));
+        assert_eq!(chain.latest_before(ts(2)), Ok((Timestamp::ZERO, None)));
+        assert_eq!(chain.latest_before(ts(9)), Ok((ts(2), Some("a"))));
+    }
+
+    #[test]
+    fn read_is_exclusive_of_own_timestamp() {
+        let mut chain = VersionChain::new();
+        chain.install(ts(5), 50u64);
+        // A reader at exactly 5 sees the version strictly before 5.
+        assert_eq!(chain.latest_before(ts(5)), Ok((Timestamp::ZERO, None)));
+        assert_eq!(chain.latest_before(ts(5).succ()), Ok((ts(5), Some(50))));
+    }
+
+    #[test]
+    fn install_returns_previous_on_duplicate() {
+        let mut chain = VersionChain::new();
+        assert_eq!(chain.install(ts(3), 1u64), None);
+        assert_eq!(chain.install(ts(3), 2u64), Some(1));
+        assert_eq!(chain.at(ts(3)), Some(&2));
+    }
+
+    #[test]
+    fn purge_keeps_latest_below_bound() {
+        let mut chain = VersionChain::new();
+        for v in [1u64, 3, 5, 7, 9] {
+            chain.install(ts(v), v);
+        }
+        let removed = chain.purge_below(ts(6));
+        // 1 and 3 removed; 5 kept because it is the latest below the bound.
+        assert_eq!(removed, 2);
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain.latest_before(ts(6)), Ok((ts(5), Some(5))));
+        assert_eq!(chain.latest_before(ts(8)), Ok((ts(7), Some(7))));
+        assert_eq!(chain.purged_below(), ts(6));
+        assert_eq!(chain.stats().purged, 2);
+    }
+
+    #[test]
+    fn reads_below_purge_bound_fail() {
+        let mut chain = VersionChain::new();
+        chain.install(ts(5), 0u64);
+        chain.install(ts(10), 1u64);
+        chain.install(ts(20), 2u64);
+        chain.purge_below(ts(15));
+        // The version at 5 was discarded, so a read "before 7" can no longer be
+        // served correctly and must report the purge bound.
+        assert_eq!(chain.latest_before(ts(7)), Err(ts(15)));
+        // Reading before 12 still works: version 10 was kept as latest-below-bound.
+        assert_eq!(chain.latest_before(ts(12)), Ok((ts(10), Some(1))));
+        // Purging never happened below 15 for a chain that had nothing there,
+        // so a fresh chain keeps serving the initial version.
+        let mut fresh: VersionChain<u64> = VersionChain::new();
+        fresh.purge_below(ts(15));
+        assert_eq!(fresh.latest_before(ts(7)), Ok((Timestamp::ZERO, None)));
+    }
+
+    #[test]
+    fn iteration_in_timestamp_order() {
+        let mut chain = VersionChain::new();
+        chain.install(ts(9), 9u64);
+        chain.install(ts(1), 1u64);
+        chain.install(ts(4), 4u64);
+        let tss: Vec<u64> = chain.iter().map(|v| v.timestamp.value).collect();
+        assert_eq!(tss, vec![1, 4, 9]);
+        assert_eq!(chain.latest().map(|(t, _)| t), Some(ts(9)));
+    }
+}

@@ -1,0 +1,23 @@
+//! # mvtl-storage
+//!
+//! The multiversion value store `Values[k, t]` of §4.1, with the version
+//! purging of §6.
+//!
+//! Every key holds a chain of committed versions ordered by timestamp. The
+//! initial version at [`Timestamp::ZERO`](mvtl_common::Timestamp::ZERO) is the
+//! special value `⊥` (represented here as "no value"), and committed writes add
+//! versions at their commit timestamp. Multiversion reads ask for "the version
+//! with the largest timestamp before `t`" — [`VersionChain::latest_before`].
+//!
+//! Like [`mvtl_locks::KeyLockState`](../mvtl_locks/struct.KeyLockState.html),
+//! the chain is a plain data structure with no internal synchronization; the
+//! engines guard it with the same per-key latch as the lock state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chain;
+mod stats;
+
+pub use chain::{Version, VersionChain};
+pub use stats::VersionStats;

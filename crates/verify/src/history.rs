@@ -1,0 +1,146 @@
+//! Committed histories.
+
+use mvtl_common::{CommitInfo, Key, Timestamp, TxId};
+use std::collections::HashMap;
+
+/// The committed projection of one transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommittedTx {
+    /// Runtime transaction id.
+    pub id: TxId,
+    /// Commit (serialization) timestamp, when the engine provides one.
+    pub commit_ts: Option<Timestamp>,
+    /// `(key, version timestamp)` pairs for every read; the version timestamp
+    /// identifies which committed write produced the value that was read
+    /// ([`Timestamp::ZERO`] = the initial `⊥` version).
+    pub reads: Vec<(Key, Timestamp)>,
+    /// Keys written.
+    pub writes: Vec<Key>,
+}
+
+impl From<CommitInfo> for CommittedTx {
+    fn from(info: CommitInfo) -> Self {
+        CommittedTx {
+            id: info.tx,
+            commit_ts: info.commit_ts,
+            reads: info.reads,
+            writes: info.writes,
+        }
+    }
+}
+
+/// The committed projection `C(H)` of a multiversion history (Appendix A).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct History {
+    transactions: Vec<CommittedTx>,
+}
+
+impl History {
+    /// An empty history.
+    #[must_use]
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Records a committed transaction.
+    pub fn record(&mut self, info: CommitInfo) {
+        self.transactions.push(info.into());
+    }
+
+    /// Builds a history from already-collected commit information.
+    #[must_use]
+    pub fn from_commits<I: IntoIterator<Item = CommitInfo>>(commits: I) -> Self {
+        let mut h = History::new();
+        for c in commits {
+            h.record(c);
+        }
+        h
+    }
+
+    /// The committed transactions, in recording order.
+    #[must_use]
+    pub fn transactions(&self) -> &[CommittedTx] {
+        &self.transactions
+    }
+
+    /// Number of committed transactions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Whether no transaction committed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Maps every `(key, commit timestamp)` version to the transaction that
+    /// wrote it. Used to resolve reads-from edges.
+    #[must_use]
+    pub fn version_writers(&self) -> HashMap<(Key, Timestamp), TxId> {
+        let mut map = HashMap::new();
+        for tx in &self.transactions {
+            if let Some(ts) = tx.commit_ts {
+                for key in &tx.writes {
+                    map.insert((*key, ts), tx.id);
+                }
+            }
+        }
+        map
+    }
+
+    /// The final committed value-version of each key: the write with the
+    /// largest commit timestamp.
+    #[must_use]
+    pub fn final_versions(&self) -> HashMap<Key, (Timestamp, TxId)> {
+        let mut map: HashMap<Key, (Timestamp, TxId)> = HashMap::new();
+        for tx in &self.transactions {
+            if let Some(ts) = tx.commit_ts {
+                for key in &tx.writes {
+                    match map.get(key) {
+                        Some((existing, _)) if *existing >= ts => {}
+                        _ => {
+                            map.insert(*key, (ts, tx.id));
+                        }
+                    }
+                }
+            }
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn commit(id: u64, ts: u64, reads: Vec<(u64, u64)>, writes: Vec<u64>) -> CommitInfo {
+        CommitInfo {
+            tx: TxId(id),
+            commit_ts: Some(Timestamp::at(ts)),
+            reads: reads
+                .into_iter()
+                .map(|(k, v)| (Key(k), Timestamp::at(v)))
+                .collect(),
+            writes: writes.into_iter().map(Key).collect(),
+        }
+    }
+
+    #[test]
+    fn records_and_maps_versions() {
+        let h = History::from_commits([
+            commit(1, 10, vec![], vec![1, 2]),
+            commit(2, 20, vec![(1, 10)], vec![1]),
+        ]);
+        assert_eq!(h.len(), 2);
+        assert!(!h.is_empty());
+        let writers = h.version_writers();
+        assert_eq!(writers[&(Key(1), Timestamp::at(10))], TxId(1));
+        assert_eq!(writers[&(Key(1), Timestamp::at(20))], TxId(2));
+        assert_eq!(writers[&(Key(2), Timestamp::at(10))], TxId(1));
+        let finals = h.final_versions();
+        assert_eq!(finals[&Key(1)], (Timestamp::at(20), TxId(2)));
+        assert_eq!(finals[&Key(2)], (Timestamp::at(10), TxId(1)));
+    }
+}

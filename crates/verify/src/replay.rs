@@ -1,0 +1,216 @@
+//! Replaying workloads (the §2 model) against any engine.
+
+use crate::History;
+use mvtl_common::ops::{Op, Workload};
+use mvtl_common::{AbortReason, ProcessId, TransactionalKV, TxError, TxOutcome};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The result of replaying a workload.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Outcome of each transaction, indexed by its workload transaction index.
+    /// Transactions that never issued a commit (or abort) in the workload are
+    /// reported as aborted with [`AbortReason::UserRequested`].
+    pub outcomes: Vec<TxOutcome>,
+    /// The committed history, ready for the MVSG check.
+    pub history: History,
+}
+
+impl ReplayReport {
+    /// Number of committed transactions.
+    #[must_use]
+    pub fn commits(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_commit()).count()
+    }
+
+    /// Number of aborted transactions.
+    #[must_use]
+    pub fn aborts(&self) -> usize {
+        self.outcomes.len() - self.commits()
+    }
+
+    /// Whether the transaction with workload index `i` committed.
+    #[must_use]
+    pub fn committed(&self, i: usize) -> bool {
+        self.outcomes.get(i).map(TxOutcome::is_commit).unwrap_or(false)
+    }
+}
+
+/// Replays `workload` against `store` step by step in a single thread, exactly
+/// in the interleaving the workload specifies.
+///
+/// Each workload transaction index is mapped to a distinct process id, and
+/// pinned timestamps (when present) are passed to the engine so that schedules
+/// like "T1 gets timestamp 1, T2 gets timestamp 2" can be reproduced exactly.
+/// A transaction whose operation fails (an engine-initiated abort) is dropped;
+/// subsequent operations of that transaction in the workload are skipped.
+pub fn replay<V, S>(store: &S, workload: &Workload, make_value: impl Fn(u64) -> V) -> ReplayReport
+where
+    S: TransactionalKV<V>,
+{
+    let n = workload.transaction_count();
+    let mut outcomes: Vec<Option<TxOutcome>> = vec![None; n];
+    let mut history = History::new();
+    let mut live: HashMap<usize, S::Txn> = HashMap::new();
+
+    for step in &workload.steps {
+        let idx = step.tx;
+        if outcomes.get(idx).map(|o| o.is_some()).unwrap_or(false) {
+            // Transaction already finished (engine abort or explicit end).
+            continue;
+        }
+        if !live.contains_key(&idx) {
+            let pinned = workload.pinned_timestamp(idx);
+            let txn = store.begin_at(ProcessId(idx as u32 + 1), pinned);
+            live.insert(idx, txn);
+        }
+        match &step.op {
+            Op::Read(key) => {
+                let txn = live.get_mut(&idx).expect("live transaction");
+                if let Err(err) = store.read(txn, *key) {
+                    live.remove(&idx);
+                    outcomes[idx] = Some(TxOutcome::Aborted(abort_reason(err)));
+                }
+            }
+            Op::Write(key, value) => {
+                let txn = live.get_mut(&idx).expect("live transaction");
+                if let Err(err) = store.write(txn, *key, make_value(*value)) {
+                    live.remove(&idx);
+                    outcomes[idx] = Some(TxOutcome::Aborted(abort_reason(err)));
+                }
+            }
+            Op::Commit => {
+                let txn = live.remove(&idx).expect("live transaction");
+                match store.commit(txn) {
+                    Ok(info) => {
+                        history.record(info.clone());
+                        outcomes[idx] = Some(TxOutcome::Committed(info));
+                    }
+                    Err(err) => {
+                        outcomes[idx] = Some(TxOutcome::Aborted(abort_reason(err)));
+                    }
+                }
+            }
+            Op::Abort => {
+                let txn = live.remove(&idx).expect("live transaction");
+                store.abort(txn);
+                outcomes[idx] = Some(TxOutcome::Aborted(AbortReason::UserRequested));
+            }
+        }
+    }
+
+    // Transactions left open at the end of the workload are aborted.
+    for (idx, txn) in live.drain() {
+        store.abort(txn);
+        outcomes[idx] = Some(TxOutcome::Aborted(AbortReason::UserRequested));
+    }
+
+    ReplayReport {
+        outcomes: outcomes
+            .into_iter()
+            .map(|o| o.unwrap_or(TxOutcome::Aborted(AbortReason::UserRequested)))
+            .collect(),
+        history,
+    }
+}
+
+/// Runs `transactions_per_thread` transactions from each of `threads` threads
+/// concurrently against `store`, where each transaction is produced by
+/// `body` (a closure receiving the thread index and iteration and performing
+/// the operations). Returns the committed history for serializability
+/// checking.
+///
+/// This is the harness used by the property tests: generate random transaction
+/// bodies, run them with real concurrency, and check the MVSG afterwards.
+pub fn replay_concurrent<V, S, F>(
+    store: &S,
+    threads: usize,
+    transactions_per_thread: usize,
+    body: F,
+) -> History
+where
+    V: Send,
+    S: TransactionalKV<V> + Sync,
+    F: Fn(usize, usize, &S, &mut S::Txn) -> Result<(), TxError> + Sync,
+{
+    let history = Mutex::new(History::new());
+    std::thread::scope(|scope| {
+        for thread in 0..threads {
+            let history = &history;
+            let body = &body;
+            scope.spawn(move || {
+                for iter in 0..transactions_per_thread {
+                    let mut txn = store.begin(ProcessId(thread as u32 + 1));
+                    match body(thread, iter, store, &mut txn) {
+                        Ok(()) => {
+                            if let Ok(info) = store.commit(txn) {
+                                history.lock().expect("history lock").record(info);
+                            }
+                        }
+                        Err(_) => {
+                            // The engine aborted the transaction inside an
+                            // operation; the handle must not be committed.
+                            store.abort(txn);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    history.into_inner().expect("history lock")
+}
+
+fn abort_reason(err: TxError) -> AbortReason {
+    match err {
+        TxError::Aborted(reason) => reason,
+        _ => AbortReason::UserRequested,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_serializable;
+    use mvtl_baselines::MvtoStore;
+    use mvtl_clock::GlobalClock;
+    use mvtl_common::{Key, Timestamp};
+    use std::sync::Arc;
+
+    #[test]
+    fn replay_runs_a_simple_workload() {
+        let store: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
+        let mut w = Workload::new();
+        w.push(0, Op::Write(Key(1), 5))
+            .push(0, Op::Commit)
+            .push(1, Op::Read(Key(1)))
+            .push(1, Op::Commit);
+        w.pin_timestamp(0, Timestamp::at(10));
+        w.pin_timestamp(1, Timestamp::at(20));
+        let report = replay(&store, &w, |v| v);
+        assert_eq!(report.commits(), 2);
+        assert_eq!(report.aborts(), 0);
+        assert!(report.committed(0) && report.committed(1));
+        assert!(check_serializable(&report.history).is_ok());
+    }
+
+    #[test]
+    fn unfinished_transactions_count_as_aborted() {
+        let store: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
+        let mut w = Workload::new();
+        w.push(0, Op::Read(Key(1)));
+        let report = replay(&store, &w, |v| v);
+        assert_eq!(report.commits(), 0);
+        assert_eq!(report.aborts(), 1);
+    }
+
+    #[test]
+    fn explicit_abort_is_reported() {
+        let store: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
+        let mut w = Workload::new();
+        w.push(0, Op::Write(Key(1), 3)).push(0, Op::Abort);
+        let report = replay(&store, &w, |v| v);
+        assert_eq!(report.aborts(), 1);
+        assert!(report.history.is_empty());
+    }
+}

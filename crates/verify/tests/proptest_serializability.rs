@@ -1,0 +1,218 @@
+//! Property-based serializability tests (Theorem 1 and friends).
+//!
+//! Two kinds of properties:
+//!
+//! 1. **Sequential replays** of randomly generated interleaved workloads: every
+//!    engine must produce an acyclic multiversion serialization graph, and the
+//!    committed values must match a reference serial execution in commit-
+//!    timestamp order.
+//! 2. **Concurrent executions** with real threads and randomized transaction
+//!    bodies: the committed history must again be serializable.
+
+use mvtl_baselines::{MvtoStore, TwoPhaseLockingStore};
+use mvtl_clock::GlobalClock;
+use mvtl_common::ops::{Op, Workload};
+use mvtl_common::{Key, TransactionalKV};
+use mvtl_core::policy::{
+    EpsilonPolicy, GhostbusterPolicy, LockingPolicy, MvtilPolicy, PessimisticPolicy, PrefPolicy,
+    PrioPolicy, ToPolicy,
+};
+use mvtl_core::{MvtlConfig, MvtlStore};
+use mvtl_verify::{check_serializable, replay, replay_concurrent};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+const KEYS: u64 = 6;
+
+/// Random interleaved workload over a small key space.
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    let step = (0usize..4, 0u64..KEYS, 0u64..100, 0u8..4);
+    proptest::collection::vec(step, 4..40).prop_map(|steps| {
+        let mut w = Workload::new();
+        let mut finished = [false; 4];
+        for (tx, key, value, kind) in steps {
+            if finished[tx] {
+                continue;
+            }
+            match kind {
+                0 | 1 => {
+                    w.push(tx, Op::Read(Key(key)));
+                }
+                2 => {
+                    w.push(tx, Op::Write(Key(key), value));
+                }
+                _ => {
+                    w.push(tx, Op::Commit);
+                    finished[tx] = true;
+                }
+            }
+        }
+        for (tx, done) in finished.iter().enumerate() {
+            if !done {
+                w.push(tx, Op::Commit);
+            }
+        }
+        for tx in 0..4usize {
+            // Pin distinct timestamps so every engine sees the same clocks.
+            w.pin_timestamp(tx, mvtl_common::Timestamp::at(10 + 10 * tx as u64));
+        }
+        w
+    })
+}
+
+fn mvtl<P: LockingPolicy>(policy: P) -> MvtlStore<u64, P> {
+    MvtlStore::new(
+        policy,
+        Arc::new(GlobalClock::starting_at(1000)),
+        MvtlConfig::default().with_lock_wait_timeout(Duration::from_millis(5)),
+    )
+}
+
+fn assert_serializable<S: TransactionalKV<u64>>(store: &S, workload: &Workload) {
+    let report = replay(store, workload, |v| v);
+    if let Err(violation) = check_serializable(&report.history) {
+        panic!(
+            "{} produced a non-serializable history on workload:\n{}\n{violation}",
+            store.name(),
+            workload.render()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_engines_serializable_on_random_workloads(workload in arb_workload()) {
+        assert_serializable(&mvtl(ToPolicy::new()), &workload);
+        assert_serializable(&mvtl(GhostbusterPolicy::new()), &workload);
+        assert_serializable(&mvtl(EpsilonPolicy::new(7)), &workload);
+        assert_serializable(&mvtl(PrefPolicy::with_offsets(vec![-5])), &workload);
+        assert_serializable(&mvtl(PrioPolicy::new()), &workload);
+        assert_serializable(&mvtl(MvtilPolicy::early(25)), &workload);
+        assert_serializable(&mvtl(MvtilPolicy::late(25)), &workload);
+        assert_serializable(&MvtoStore::<u64>::new(Arc::new(GlobalClock::starting_at(1000))), &workload);
+        assert_serializable(
+            &TwoPhaseLockingStore::<u64>::new(
+                Arc::new(GlobalClock::new()),
+                Duration::from_millis(5),
+            ),
+            &workload,
+        );
+    }
+
+    #[test]
+    fn pessimistic_engine_serializable_on_random_workloads(workload in arb_workload()) {
+        // Pessimistic blocks more, so it gets its own (smaller) case budget by
+        // virtue of living in a separate test.
+        assert_serializable(&mvtl(PessimisticPolicy::new()), &workload);
+    }
+
+    #[test]
+    fn mvtl_to_and_mvto_agree_on_serial_workloads(seed in any::<u64>()) {
+        // Theorem 5 (behavioural check): on serial workloads with identical
+        // pinned timestamps, MVTL-TO and MVTO+ commit exactly the same
+        // transactions and expose the same final values.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = Workload::new();
+        let txs = rng.gen_range(2..8usize);
+        for tx in 0..txs {
+            let ops = rng.gen_range(1..5usize);
+            for _ in 0..ops {
+                let key = Key(rng.gen_range(0..KEYS));
+                if rng.gen_bool(0.5) {
+                    w.push(tx, Op::Read(key));
+                } else {
+                    w.push(tx, Op::Write(key, rng.gen_range(0..100)));
+                }
+            }
+            w.push(tx, Op::Commit);
+            // Random (possibly non-monotonic) timestamps, all distinct.
+            w.pin_timestamp(tx, mvtl_common::Timestamp::at(10 + rng.gen_range(0..1000) * 2 + tx as u64 % 2));
+        }
+
+        let to_store = mvtl(ToPolicy::new());
+        let mvto_store: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::starting_at(5000)));
+        let to_report = replay(&to_store, &w, |v| v);
+        let mvto_report = replay(&mvto_store, &w, |v| v);
+
+        let to_commits: Vec<bool> = (0..txs).map(|i| to_report.committed(i)).collect();
+        let mvto_commits: Vec<bool> = (0..txs).map(|i| mvto_report.committed(i)).collect();
+        prop_assert_eq!(&to_commits, &mvto_commits,
+            "MVTL-TO and MVTO+ disagree on workload:\n{}", w.render());
+
+        prop_assert!(check_serializable(&to_report.history).is_ok());
+        prop_assert!(check_serializable(&mvto_report.history).is_ok());
+    }
+}
+
+#[test]
+fn concurrent_random_transactions_are_serializable_under_every_mvtl_policy() {
+    fn run_policy<P: LockingPolicy>(policy: P) {
+        let store = MvtlStore::<u64, P>::new(
+            policy,
+            Arc::new(GlobalClock::new()),
+            MvtlConfig::default().with_lock_wait_timeout(Duration::from_millis(5)),
+        );
+        let history = replay_concurrent(&store, 4, 60, |thread, iter, store, txn| {
+            let mut rng = StdRng::seed_from_u64((thread * 1_000 + iter) as u64);
+            for _ in 0..rng.gen_range(2..6usize) {
+                let key = Key(rng.gen_range(0..KEYS));
+                if rng.gen_bool(0.5) {
+                    store.read(txn, key)?;
+                } else {
+                    store.write(txn, key, rng.gen_range(0..1_000))?;
+                }
+            }
+            Ok(())
+        });
+        assert!(history.len() > 0, "some transactions must commit");
+        if let Err(violation) = check_serializable(&history) {
+            panic!("non-serializable concurrent history: {violation}");
+        }
+    }
+
+    run_policy(ToPolicy::new());
+    run_policy(GhostbusterPolicy::new());
+    run_policy(EpsilonPolicy::new(20));
+    run_policy(MvtilPolicy::early(5_000));
+    run_policy(MvtilPolicy::late(5_000));
+    run_policy(PrefPolicy::new());
+}
+
+#[test]
+fn concurrent_random_transactions_are_serializable_under_the_baselines() {
+    let mvto: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
+    let history = replay_concurrent(&mvto, 4, 80, |thread, iter, store, txn| {
+        let mut rng = StdRng::seed_from_u64((thread * 7_777 + iter) as u64);
+        for _ in 0..rng.gen_range(2..6usize) {
+            let key = Key(rng.gen_range(0..KEYS));
+            if rng.gen_bool(0.5) {
+                store.read(txn, key)?;
+            } else {
+                store.write(txn, key, rng.gen_range(0..1_000))?;
+            }
+        }
+        Ok(())
+    });
+    check_serializable(&history).expect("MVTO+ must be serializable");
+
+    let tpl: TwoPhaseLockingStore<u64> =
+        TwoPhaseLockingStore::new(Arc::new(GlobalClock::new()), Duration::from_millis(5));
+    let history = replay_concurrent(&tpl, 4, 80, |thread, iter, store, txn| {
+        let mut rng = StdRng::seed_from_u64((thread * 31 + iter) as u64);
+        for _ in 0..rng.gen_range(2..6usize) {
+            let key = Key(rng.gen_range(0..KEYS));
+            if rng.gen_bool(0.5) {
+                store.read(txn, key)?;
+            } else {
+                store.write(txn, key, rng.gen_range(0..1_000))?;
+            }
+        }
+        Ok(())
+    });
+    check_serializable(&history).expect("2PL must be serializable");
+}

@@ -1,0 +1,187 @@
+//! Executable versions of the paper's theorems, replayed through the shared
+//! workload machinery so that every engine sees the identical schedule.
+
+use mvtl_baselines::{MvtoStore, TwoPhaseLockingStore};
+use mvtl_clock::GlobalClock;
+use mvtl_common::TransactionalKV;
+use mvtl_core::policy::{
+    EpsilonPolicy, GhostbusterPolicy, LockingPolicy, MvtilPolicy, PessimisticPolicy, PrefPolicy,
+    ToPolicy,
+};
+use mvtl_core::{MvtlConfig, MvtlStore};
+use mvtl_verify::schedules::{
+    ghost_abort_schedule, serial_abort_schedule, serial_counter_workload, theorem2_workload,
+    update_concurrency_schedule, GHOST_ABORT_MIDDLE, GHOST_ABORT_VICTIM, SERIAL_ABORT_VICTIM,
+    THEOREM2_VICTIM,
+};
+use mvtl_verify::{check_serializable, replay, ReplayReport};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn mvtl_store<P: LockingPolicy>(policy: P) -> MvtlStore<u64, P> {
+    MvtlStore::new(
+        policy,
+        Arc::new(GlobalClock::new()),
+        MvtlConfig::default().with_lock_wait_timeout(Duration::from_millis(20)),
+    )
+}
+
+fn run<S: TransactionalKV<u64>>(store: &S, workload: &mvtl_common::ops::Workload) -> ReplayReport {
+    let report = replay(store, workload, |v| v);
+    check_serializable(&report.history)
+        .unwrap_or_else(|e| panic!("{} produced a non-serializable history: {e}", store.name()));
+    report
+}
+
+// ---------------------------------------------------------------- Theorem 4
+
+#[test]
+fn serial_abort_happens_under_mvto_and_mvtl_to_but_not_epsilon_clock() {
+    let schedule = serial_abort_schedule();
+
+    let mvto: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
+    assert!(
+        !run(&mvto, &schedule).committed(SERIAL_ABORT_VICTIM),
+        "MVTO+ must abort the small-timestamp writer"
+    );
+
+    let to = mvtl_store(ToPolicy::new());
+    assert!(
+        !run(&to, &schedule).committed(SERIAL_ABORT_VICTIM),
+        "MVTL-TO must behave like MVTO+ here"
+    );
+
+    // ε = 5 covers the 1-tick "skew" encoded in the pinned timestamps.
+    let eps = mvtl_store(EpsilonPolicy::new(5));
+    let report = run(&eps, &schedule);
+    assert!(
+        report.committed(SERIAL_ABORT_VICTIM),
+        "MVTL-ε-clock must not abort in a serial execution (Theorem 4)"
+    );
+    assert_eq!(report.commits(), 2);
+}
+
+#[test]
+fn epsilon_clock_commits_long_serial_histories() {
+    let eps = mvtl_store(EpsilonPolicy::new(16));
+    let schedule = serial_counter_workload(30);
+    let report = run(&eps, &schedule);
+    assert_eq!(report.commits(), 30, "no serial aborts allowed");
+}
+
+// ---------------------------------------------------------------- Theorem 7
+
+#[test]
+fn ghost_abort_happens_under_mvto_but_not_ghostbuster() {
+    let schedule = ghost_abort_schedule();
+
+    let mvto: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
+    let report = run(&mvto, &schedule);
+    assert!(!report.committed(GHOST_ABORT_MIDDLE), "T2 must abort");
+    assert!(
+        !report.committed(GHOST_ABORT_VICTIM),
+        "MVTO+ must exhibit the ghost abort of T1"
+    );
+
+    let to = mvtl_store(ToPolicy::new());
+    let report = run(&to, &schedule);
+    assert!(
+        !report.committed(GHOST_ABORT_VICTIM),
+        "MVTL-TO emulates MVTO+ and also ghost-aborts T1"
+    );
+
+    let gb = mvtl_store(GhostbusterPolicy::new());
+    let report = run(&gb, &schedule);
+    assert!(!report.committed(GHOST_ABORT_MIDDLE), "T2 still aborts");
+    assert!(
+        report.committed(GHOST_ABORT_VICTIM),
+        "MVTL-Ghostbuster must commit T1 (no ghost aborts, Theorem 7)"
+    );
+}
+
+// ---------------------------------------------------------------- Theorem 2
+
+#[test]
+fn pref_commits_strictly_more_than_mvto() {
+    let schedule = theorem2_workload();
+
+    let mvto: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
+    assert!(
+        !run(&mvto, &schedule).committed(THEOREM2_VICTIM),
+        "MVTO+ must abort T2 on the Theorem 2 workload"
+    );
+
+    // Alternatives must lie below t1 = 5: A(t) = {t - 28} gives 2 for T2.
+    let pref = mvtl_store(PrefPolicy::with_offsets(vec![-28]));
+    let report = run(&pref, &schedule);
+    assert!(
+        report.committed(THEOREM2_VICTIM),
+        "MVTL-Pref must commit T2 via its alternative timestamp"
+    );
+    assert_eq!(report.commits(), 3);
+}
+
+#[test]
+fn pref_does_not_abort_workloads_that_mvto_commits() {
+    // Theorem 2(a) spot-check: a workload MVTO+ commits entirely is also
+    // committed entirely by MVTL-Pref (alternatives smaller than preferential).
+    let schedule = update_concurrency_schedule();
+    let mvto: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
+    let mvto_report = run(&mvto, &schedule);
+    assert_eq!(mvto_report.commits(), 2);
+
+    let pref = mvtl_store(PrefPolicy::with_offsets(vec![-3]));
+    let pref_report = run(&pref, &schedule);
+    assert_eq!(pref_report.commits(), 2);
+}
+
+// ------------------------------------------------- §9 comparison schedule
+
+#[test]
+fn full_multiversion_schemes_commit_concurrent_updates() {
+    let schedule = update_concurrency_schedule();
+    // All multiversion engines commit both transactions.
+    assert_eq!(run(&mvtl_store(ToPolicy::new()), &schedule).commits(), 2);
+    assert_eq!(
+        run(&mvtl_store(MvtilPolicy::early(1_000)), &schedule).commits(),
+        2
+    );
+    assert_eq!(
+        run(
+            &MvtoStore::<u64>::new(Arc::new(GlobalClock::new())),
+            &schedule
+        )
+        .commits(),
+        2
+    );
+}
+
+// ------------------------------------------------------ cross-engine sanity
+
+#[test]
+fn every_engine_produces_serializable_histories_on_the_paper_schedules() {
+    let schedules = [
+        serial_abort_schedule(),
+        ghost_abort_schedule(),
+        theorem2_workload(),
+        update_concurrency_schedule(),
+        serial_counter_workload(10),
+    ];
+    for schedule in &schedules {
+        run(&mvtl_store(ToPolicy::new()), schedule);
+        run(&mvtl_store(GhostbusterPolicy::new()), schedule);
+        run(&mvtl_store(EpsilonPolicy::new(8)), schedule);
+        run(&mvtl_store(PrefPolicy::new()), schedule);
+        run(&mvtl_store(PessimisticPolicy::new()), schedule);
+        run(&mvtl_store(MvtilPolicy::early(100)), schedule);
+        run(&mvtl_store(MvtilPolicy::late(100)), schedule);
+        run(&MvtoStore::<u64>::new(Arc::new(GlobalClock::new())), schedule);
+        run(
+            &TwoPhaseLockingStore::<u64>::new(
+                Arc::new(GlobalClock::new()),
+                Duration::from_millis(10),
+            ),
+            schedule,
+        );
+    }
+}

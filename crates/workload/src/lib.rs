@@ -1,0 +1,33 @@
+//! # mvtl-workload
+//!
+//! Workload generation, closed-loop runners and the figure harness that
+//! regenerates the paper's evaluation (§8).
+//!
+//! Three layers:
+//!
+//! * [`spec`] — statistical workload descriptions (§8.3 parameters: operations
+//!   per transaction, write fraction, key-space size) and a generator that
+//!   turns them into transaction bodies.
+//! * [`runner`] — a multi-threaded closed-loop runner that drives any
+//!   [`TransactionalKV`](mvtl_common::TransactionalKV) engine (the centralized
+//!   MVTL policies and the baselines) and reports throughput / commit rate.
+//!   This is the harness used by the Criterion micro-benchmarks.
+//! * [`figures`] — one function per figure of the paper (Figures 1–7) plus the
+//!   ablations called out in `DESIGN.md`, all built on the distributed
+//!   simulator ([`mvtl_sim`]). Each returns structured rows and can render the
+//!   same table the corresponding binary in `mvtl-bench` prints.
+//!
+//! Every figure function takes a [`figures::Scale`]: `Quick` keeps runs small
+//! enough for CI and benchmarks, `Paper` uses parameter ranges matching the
+//! paper's plots.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod runner;
+pub mod spec;
+
+pub use figures::{FigureRow, FigureTable, Scale};
+pub use runner::{run_closed_loop, RunnerMetrics, RunnerOptions};
+pub use spec::{TxTemplate, WorkloadSpec};

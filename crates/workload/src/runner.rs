@@ -1,0 +1,203 @@
+//! A multi-threaded closed-loop runner for the centralized engines.
+//!
+//! The paper's clients "submit transactions repeatedly in a closed-loop"
+//! (§8.3); this runner does the same against any
+//! [`TransactionalKV`](mvtl_common::TransactionalKV) engine, with one thread
+//! per client. It is the harness behind the Criterion micro-benchmarks and the
+//! in-process examples (the distributed experiments use `mvtl-sim` instead).
+
+use crate::spec::WorkloadSpec;
+use mvtl_common::{ProcessId, TransactionalKV, TxError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Options of a closed-loop run.
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// Number of client threads.
+    pub clients: usize,
+    /// Wall-clock duration of the measured run.
+    pub duration: Duration,
+    /// Workload parameters.
+    pub spec: WorkloadSpec,
+    /// Base seed; each client derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions {
+            clients: 4,
+            duration: Duration::from_millis(200),
+            spec: WorkloadSpec::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// Results of a closed-loop run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunnerMetrics {
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted transaction attempts.
+    pub aborted: u64,
+    /// Measured wall-clock duration in seconds.
+    pub elapsed_secs: f64,
+}
+
+impl RunnerMetrics {
+    /// Commits per second.
+    #[must_use]
+    pub fn throughput_tps(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / self.elapsed_secs
+        }
+    }
+
+    /// Fraction of attempts that committed.
+    #[must_use]
+    pub fn commit_rate(&self) -> f64 {
+        let attempts = self.committed + self.aborted;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.committed as f64 / attempts as f64
+        }
+    }
+}
+
+/// Runs `options.clients` threads against `store`, each executing randomly
+/// generated read/write transactions in a closed loop for the configured
+/// duration, and returns the aggregate metrics.
+pub fn run_closed_loop<V, S>(
+    store: &S,
+    options: &RunnerOptions,
+    make_value: impl Fn(u64) -> V + Sync,
+) -> RunnerMetrics
+where
+    S: TransactionalKV<V> + Sync,
+{
+    let committed = AtomicU64::new(0);
+    let aborted = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for client in 0..options.clients {
+            let committed = &committed;
+            let aborted = &aborted;
+            let stop = &stop;
+            let spec = options.spec;
+            let seed = options.seed;
+            let make_value = &make_value;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (client as u64 + 1) * 0x9E37_79B9);
+                let process = ProcessId(client as u32 + 1);
+                let mut counter = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let template = spec.generate(&mut rng);
+                    let mut txn = store.begin(process);
+                    let result = (|| -> Result<(), TxError> {
+                        for (key, write) in &template.ops {
+                            if *write {
+                                counter += 1;
+                                store.write(&mut txn, *key, make_value(counter))?;
+                            } else {
+                                store.read(&mut txn, *key)?;
+                            }
+                        }
+                        Ok(())
+                    })();
+                    match result {
+                        Ok(()) => match store.commit(txn) {
+                            Ok(_) => {
+                                committed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                aborted.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                        Err(_) => {
+                            store.abort(txn);
+                            aborted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+        // Timer thread: flip the stop flag when the duration elapses.
+        let stop = &stop;
+        let duration = options.duration;
+        scope.spawn(move || {
+            std::thread::sleep(duration);
+            stop.store(true, Ordering::Relaxed);
+        });
+    });
+
+    RunnerMetrics {
+        committed: committed.into_inner(),
+        aborted: aborted.into_inner(),
+        elapsed_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvtl_baselines::{MvtoStore, TwoPhaseLockingStore};
+    use mvtl_clock::GlobalClock;
+    use mvtl_core::policy::MvtilPolicy;
+    use mvtl_core::{MvtlConfig, MvtlStore};
+    use std::sync::Arc;
+
+    fn options() -> RunnerOptions {
+        RunnerOptions {
+            clients: 4,
+            duration: Duration::from_millis(120),
+            spec: WorkloadSpec::new(8, 0.3, 256),
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn runs_against_an_mvtl_engine() {
+        let store: MvtlStore<u64, _> = MvtlStore::new(
+            MvtilPolicy::early(100_000),
+            Arc::new(GlobalClock::new()),
+            MvtlConfig::default(),
+        );
+        let metrics = run_closed_loop(&store, &options(), |v| v);
+        assert!(metrics.committed > 0);
+        assert!(metrics.throughput_tps() > 0.0);
+        assert!(metrics.commit_rate() > 0.5);
+    }
+
+    #[test]
+    fn runs_against_the_baselines() {
+        let mvto: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
+        let metrics = run_closed_loop(&mvto, &options(), |v| v);
+        assert!(metrics.committed > 0);
+
+        let tpl: TwoPhaseLockingStore<u64> =
+            TwoPhaseLockingStore::new(Arc::new(GlobalClock::new()), Duration::from_millis(5));
+        let metrics = run_closed_loop(&tpl, &options(), |v| v);
+        assert!(metrics.committed > 0);
+    }
+
+    #[test]
+    fn metrics_arithmetic() {
+        let m = RunnerMetrics {
+            committed: 50,
+            aborted: 50,
+            elapsed_secs: 2.0,
+        };
+        assert!((m.throughput_tps() - 25.0).abs() < f64::EPSILON);
+        assert!((m.commit_rate() - 0.5).abs() < f64::EPSILON);
+        assert_eq!(RunnerMetrics::default().commit_rate(), 0.0);
+    }
+}

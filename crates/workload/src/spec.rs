@@ -1,0 +1,128 @@
+//! Statistical workload specifications (§8.3).
+
+use mvtl_common::Key;
+use rand::Rng;
+
+/// One generated transaction body: the keys to access and whether each access
+/// is a write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxTemplate {
+    /// Planned operations, in order.
+    pub ops: Vec<(Key, bool)>,
+}
+
+impl TxTemplate {
+    /// Keys that will be written.
+    #[must_use]
+    pub fn write_keys(&self) -> Vec<Key> {
+        self.ops
+            .iter()
+            .filter(|(_, w)| *w)
+            .map(|(k, _)| *k)
+            .collect()
+    }
+
+    /// Number of read operations.
+    #[must_use]
+    pub fn reads(&self) -> usize {
+        self.ops.iter().filter(|(_, w)| !*w).count()
+    }
+
+    /// Number of write operations.
+    #[must_use]
+    pub fn writes(&self) -> usize {
+        self.ops.len() - self.reads()
+    }
+}
+
+/// The workload parameters the paper fixes per experiment (§8.3): transaction
+/// size, write fraction and key-space size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Operations per transaction (20 in most experiments, 8 in Figure 4).
+    pub ops_per_tx: usize,
+    /// Fraction of operations that are writes.
+    pub write_fraction: f64,
+    /// Number of distinct keys, drawn uniformly (as in the paper).
+    pub keys: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            ops_per_tx: 20,
+            write_fraction: 0.25,
+            keys: 10_000,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Creates a specification.
+    #[must_use]
+    pub fn new(ops_per_tx: usize, write_fraction: f64, keys: u64) -> Self {
+        WorkloadSpec {
+            ops_per_tx: ops_per_tx.max(1),
+            write_fraction: write_fraction.clamp(0.0, 1.0),
+            keys: keys.max(1),
+        }
+    }
+
+    /// Generates one transaction body.
+    pub fn generate<R: Rng>(&self, rng: &mut R) -> TxTemplate {
+        let ops = (0..self.ops_per_tx)
+            .map(|_| {
+                (
+                    Key(rng.gen_range(0..self.keys)),
+                    rng.gen_bool(self.write_fraction),
+                )
+            })
+            .collect();
+        TxTemplate { ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generation_respects_parameters() {
+        let spec = WorkloadSpec::new(20, 0.25, 100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut writes = 0usize;
+        let mut total = 0usize;
+        for _ in 0..200 {
+            let tx = spec.generate(&mut rng);
+            assert_eq!(tx.ops.len(), 20);
+            assert_eq!(tx.reads() + tx.writes(), 20);
+            for (key, _) in &tx.ops {
+                assert!(key.0 < 100);
+            }
+            writes += tx.writes();
+            total += tx.ops.len();
+        }
+        let fraction = writes as f64 / total as f64;
+        assert!((fraction - 0.25).abs() < 0.05, "write fraction {fraction}");
+    }
+
+    #[test]
+    fn extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let read_only = WorkloadSpec::new(8, 0.0, 10).generate(&mut rng);
+        assert_eq!(read_only.writes(), 0);
+        let write_only = WorkloadSpec::new(8, 1.0, 10).generate(&mut rng);
+        assert_eq!(write_only.reads(), 0);
+        assert_eq!(write_only.write_keys().len(), 8);
+    }
+
+    #[test]
+    fn clamping() {
+        let spec = WorkloadSpec::new(0, 2.0, 0);
+        assert_eq!(spec.ops_per_tx, 1);
+        assert_eq!(spec.write_fraction, 1.0);
+        assert_eq!(spec.keys, 1);
+    }
+}

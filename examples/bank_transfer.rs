@@ -1,0 +1,117 @@
+//! A contended bank-transfer workload run against three different engines
+//! (MVTIL, MVTO+, 2PL), checking the balance invariant and comparing commit
+//! rates — the §8 comparison in miniature, using the real threaded engines.
+//!
+//! ```bash
+//! cargo run --release --example bank_transfer
+//! ```
+
+use mvtl::baselines::{MvtoStore, TwoPhaseLockingStore};
+use mvtl::clock::GlobalClock;
+use mvtl::common::{Key, ProcessId, TransactionalKV, TxError};
+use mvtl::core::policy::MvtilPolicy;
+use mvtl::core::{MvtlConfig, MvtlStore};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ACCOUNTS: u64 = 32;
+const INITIAL_BALANCE: u64 = 1_000;
+const THREADS: usize = 4;
+const TRANSFERS_PER_THREAD: usize = 400;
+
+fn run_workload<S: TransactionalKV<u64> + Sync>(store: &S) -> (u64, u64, u64) {
+    // Seed the accounts.
+    let mut tx = store.begin(ProcessId(0));
+    for account in 0..ACCOUNTS {
+        store
+            .write(&mut tx, Key(account), INITIAL_BALANCE)
+            .expect("seeding must not conflict");
+    }
+    store.commit(tx).expect("seeding commit");
+
+    let commits = AtomicU64::new(0);
+    let aborts = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for worker in 0..THREADS {
+            let commits = &commits;
+            let aborts = &aborts;
+            scope.spawn(move || {
+                let process = ProcessId(worker as u32 + 1);
+                for i in 0..TRANSFERS_PER_THREAD {
+                    let from = Key(((worker * 7 + i * 3) as u64) % ACCOUNTS);
+                    let to = Key(((worker * 11 + i * 5 + 1) as u64) % ACCOUNTS);
+                    if from == to {
+                        continue;
+                    }
+                    let mut tx = store.begin(process);
+                    let attempt = (|| -> Result<(), TxError> {
+                        let a = store.read(&mut tx, from)?.unwrap_or(0);
+                        let b = store.read(&mut tx, to)?.unwrap_or(0);
+                        if a >= 10 {
+                            store.write(&mut tx, from, a - 10)?;
+                            store.write(&mut tx, to, b + 10)?;
+                        }
+                        Ok(())
+                    })();
+                    match attempt {
+                        Ok(()) => match store.commit(tx) {
+                            Ok(_) => {
+                                commits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                aborts.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                        Err(_) => {
+                            store.abort(tx);
+                            aborts.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Audit the final state.
+    let mut tx = store.begin(ProcessId(99));
+    let mut total = 0;
+    for account in 0..ACCOUNTS {
+        total += store.read(&mut tx, Key(account)).unwrap().unwrap_or(0);
+    }
+    store.commit(tx).unwrap();
+    (total, commits.into_inner(), aborts.into_inner())
+}
+
+fn report(name: &str, total: u64, commits: u64, aborts: u64) {
+    assert_eq!(
+        total,
+        ACCOUNTS * INITIAL_BALANCE,
+        "{name}: isolation violated, money appeared or vanished"
+    );
+    let rate = commits as f64 / (commits + aborts).max(1) as f64;
+    println!("{name:<12} commits={commits:<6} aborts={aborts:<6} commit-rate={rate:.3}  (balance preserved)");
+}
+
+fn main() {
+    println!(
+        "transferring money between {ACCOUNTS} accounts from {THREADS} threads ({TRANSFERS_PER_THREAD} transfers each)\n"
+    );
+
+    let mvtil: MvtlStore<u64, _> = MvtlStore::new(
+        MvtilPolicy::early(500_000),
+        Arc::new(GlobalClock::new()),
+        MvtlConfig::default(),
+    );
+    let (total, commits, aborts) = run_workload(&mvtil);
+    report("MVTIL-early", total, commits, aborts);
+
+    let mvto: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
+    let (total, commits, aborts) = run_workload(&mvto);
+    report("MVTO+", total, commits, aborts);
+
+    let tpl: TwoPhaseLockingStore<u64> =
+        TwoPhaseLockingStore::new(Arc::new(GlobalClock::new()), Duration::from_millis(5));
+    let (total, commits, aborts) = run_workload(&tpl);
+    report("2PL", total, commits, aborts);
+}

@@ -1,0 +1,59 @@
+//! # mvtl — multiversion timestamp locking
+//!
+//! Facade crate for the reproduction of *"Locking Timestamps versus Locking
+//! Objects"* (Aguilera, David, Guerraoui, Wang — PODC 2018). It re-exports the
+//! workspace crates under one roof so that examples, integration tests and
+//! downstream users can depend on a single crate:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`common`] | `mvtl-common` | timestamps, interval sets, ids, errors, the `TransactionalKV` trait |
+//! | [`locks`] | `mvtl-locks` | freezable interval lock tables (§4.2, §6) |
+//! | [`storage`] | `mvtl-storage` | multiversion value store with purging |
+//! | [`clock`] | `mvtl-clock` | clock sources and the timestamp service |
+//! | [`core`] | `mvtl-core` | the generic MVTL engine and every policy of §5 |
+//! | [`baselines`] | `mvtl-baselines` | MVTO+ and strict 2PL |
+//! | [`verify`] | `mvtl-verify` | MVSG serializability checking, canonical schedules |
+//! | [`sim`] | `mvtl-sim` | discrete-event simulation of the distributed system (§7, §8) |
+//! | [`workload`] | `mvtl-workload` | workload generators, runners, the figure harness |
+//!
+//! # Quick start
+//!
+//! ```
+//! use mvtl::clock::GlobalClock;
+//! use mvtl::common::{Key, ProcessId, TransactionalKV};
+//! use mvtl::core::{policy::MvtilPolicy, MvtlConfig, MvtlStore};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), mvtl::common::TxError> {
+//! let store: MvtlStore<String, _> = MvtlStore::new(
+//!     MvtilPolicy::early(1_000),
+//!     Arc::new(GlobalClock::new()),
+//!     MvtlConfig::default(),
+//! );
+//! let mut tx = store.begin(ProcessId(0));
+//! store.write(&mut tx, Key::from_name("greeting"), "hello".to_string())?;
+//! store.commit(tx)?;
+//!
+//! let mut tx = store.begin(ProcessId(1));
+//! assert_eq!(
+//!     store.read(&mut tx, Key::from_name("greeting"))?,
+//!     Some("hello".to_string())
+//! );
+//! store.commit(tx)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mvtl_baselines as baselines;
+pub use mvtl_clock as clock;
+pub use mvtl_common as common;
+pub use mvtl_core as core;
+pub use mvtl_locks as locks;
+pub use mvtl_sim as sim;
+pub use mvtl_storage as storage;
+pub use mvtl_verify as verify;
+pub use mvtl_workload as workload;
