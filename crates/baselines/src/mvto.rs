@@ -136,8 +136,12 @@ impl<V> MvtoTransaction<V> {
 /// clocks (§5.3), both of which the MVTL policies remove.
 pub struct MvtoStore<V> {
     clock: Arc<dyn ClockSource>,
-    shards: Vec<RwLock<HashMap<Key, Arc<Mutex<MvtoKeyState<V>>>>>>,
+    shards: Vec<MvtoShard<V>>,
 }
+
+/// One shard of the key map: keys hash to a shard, each key owns a latched
+/// per-key state.
+type MvtoShard<V> = RwLock<HashMap<Key, Arc<Mutex<MvtoKeyState<V>>>>>;
 
 impl<V> MvtoStore<V>
 where
@@ -260,10 +264,8 @@ where
         let mut write_keys: Vec<Key> = txn.writes.iter().map(|(k, _)| *k).collect();
         write_keys.sort();
         write_keys.dedup();
-        let cells: Vec<(Key, Arc<Mutex<MvtoKeyState<V>>>)> = write_keys
-            .iter()
-            .map(|k| (*k, self.cell(*k)))
-            .collect();
+        let cells: Vec<(Key, Arc<Mutex<MvtoKeyState<V>>>)> =
+            write_keys.iter().map(|k| (*k, self.cell(*k))).collect();
         let mut guards: Vec<(Key, parking_lot::MutexGuard<'_, MvtoKeyState<V>>)> = Vec::new();
         for (key, cell) in &cells {
             guards.push((*key, cell.lock()));

@@ -131,7 +131,12 @@ where
         Arc::clone(map.entry(key).or_default())
     }
 
-    fn acquire(&self, txn: &mut TplTransaction<V>, key: Key, mode: LockMode) -> Result<(), TxError> {
+    fn acquire(
+        &self,
+        txn: &mut TplTransaction<V>,
+        key: Key,
+        mode: LockMode,
+    ) -> Result<(), TxError> {
         let cell = self.cell(key);
         let deadline = Instant::now() + self.lock_timeout;
         let mut state = cell.state.lock();

@@ -7,7 +7,9 @@ use std::hint::black_box;
 use std::time::Duration;
 
 fn config(protocol: Protocol) -> SimConfig {
-    SimConfig::local_cluster(protocol).ops_per_tx(20).write_fraction(0.5)
+    SimConfig::local_cluster(protocol)
+        .ops_per_tx(20)
+        .write_fraction(0.5)
         .clients(12)
         .keys(400)
         .duration_secs(1)

@@ -7,7 +7,9 @@ use std::hint::black_box;
 use std::time::Duration;
 
 fn config(protocol: Protocol) -> SimConfig {
-    SimConfig::local_cluster(protocol).write_fraction(0.5).gc_every_secs(None)
+    SimConfig::local_cluster(protocol)
+        .write_fraction(0.5)
+        .gc_every_secs(None)
         .clients(12)
         .keys(400)
         .duration_secs(1)

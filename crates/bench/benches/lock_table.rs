@@ -29,17 +29,26 @@ fn bench_lock_table(c: &mut Criterion) {
     c.bench_function("lock_table/analyze_under_contention", |b| {
         let mut state = KeyLockState::new();
         for i in 0..64u64 {
-            state.acquire_grantable(TxId(i + 1), LockMode::Read, TsRange::new(ts(i * 5), ts(i * 5 + 20)));
+            state.acquire_grantable(
+                TxId(i + 1),
+                LockMode::Read,
+                TsRange::new(ts(i * 5), ts(i * 5 + 20)),
+            );
         }
         b.iter(|| {
-            let analysis = state.analyze(TxId(999), LockMode::Write, TsRange::new(ts(100), ts(200)));
+            let analysis =
+                state.analyze(TxId(999), LockMode::Write, TsRange::new(ts(100), ts(200)));
             black_box(analysis)
         })
     });
 
     c.bench_function("tsset/intersection", |b| {
-        let a: TsSet = (0..64u64).map(|i| TsRange::new(ts(i * 10), ts(i * 10 + 4))).collect();
-        let bset: TsSet = (0..64u64).map(|i| TsRange::new(ts(i * 7), ts(i * 7 + 3))).collect();
+        let a: TsSet = (0..64u64)
+            .map(|i| TsRange::new(ts(i * 10), ts(i * 10 + 4)))
+            .collect();
+        let bset: TsSet = (0..64u64)
+            .map(|i| TsRange::new(ts(i * 7), ts(i * 7 + 3)))
+            .collect();
         b.iter(|| black_box(a.intersection(&bset)))
     });
 }

@@ -54,7 +54,12 @@ impl<C: ClockSource> TimestampService<C> {
 
     /// Applies the client-side effect of a broadcast: advance a slow client's
     /// clock to the broadcast value.
-    pub fn advance_client(&self, client_clock: &dyn ClockSource, client: ProcessId, bound: Timestamp) {
+    pub fn advance_client(
+        &self,
+        client_clock: &dyn ClockSource,
+        client: ProcessId,
+        bound: Timestamp,
+    ) {
         client_clock.advance_to(client, bound.value);
     }
 }

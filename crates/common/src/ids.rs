@@ -118,7 +118,9 @@ mod tests {
     fn key_from_name_is_deterministic_and_spreads() {
         assert_eq!(Key::from_name("alice"), Key::from_name("alice"));
         assert_ne!(Key::from_name("alice"), Key::from_name("bob"));
-        let keys: HashSet<Key> = (0..1000).map(|i| Key::from_name(&format!("key-{i}"))).collect();
+        let keys: HashSet<Key> = (0..1000)
+            .map(|i| Key::from_name(&format!("key-{i}")))
+            .collect();
         assert_eq!(keys.len(), 1000);
     }
 

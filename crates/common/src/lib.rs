@@ -78,16 +78,7 @@ impl std::fmt::Display for TxStatus {
 /// The paper's *freezable locks* (§4.2) are readers-writer locks over
 /// write-once objects (individual timestamps), so only two modes exist.
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    PartialOrd,
-    Ord,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
 )]
 pub enum LockMode {
     /// Shared mode: many transactions may hold read locks on the same timestamp.
@@ -102,10 +93,7 @@ impl LockMode {
     /// request in mode `other` from a *different* transaction.
     #[must_use]
     pub fn conflicts_with(self, other: LockMode) -> bool {
-        matches!(
-            (self, other),
-            (LockMode::Write, _) | (_, LockMode::Write)
-        )
+        matches!((self, other), (LockMode::Write, _) | (_, LockMode::Write))
     }
 }
 

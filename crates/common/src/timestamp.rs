@@ -27,7 +27,10 @@ pub struct Timestamp {
 
 impl Timestamp {
     /// The smallest timestamp; `Values[k, ZERO] = ⊥` initially for every key.
-    pub const ZERO: Timestamp = Timestamp { value: 0, process: 0 };
+    pub const ZERO: Timestamp = Timestamp {
+        value: 0,
+        process: 0,
+    };
 
     /// The largest representable timestamp, standing in for `+∞`.
     pub const MAX: Timestamp = Timestamp {
@@ -286,10 +289,7 @@ mod tests {
 
         let s = TsRange::new(Timestamp::at(10), Timestamp::at(20));
         assert!(r.overlaps(&s));
-        assert_eq!(
-            r.intersection(&s),
-            Some(TsRange::point(Timestamp::at(10)))
-        );
+        assert_eq!(r.intersection(&s), Some(TsRange::point(Timestamp::at(10))));
 
         let t = TsRange::new(Timestamp::at(11), Timestamp::at(20));
         assert!(!r.overlaps(&t));

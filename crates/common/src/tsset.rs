@@ -248,7 +248,11 @@ impl Iterator for PointIter {
         if cur > self.end {
             return None;
         }
-        self.next = if cur == self.end { None } else { Some(cur.succ()) };
+        self.next = if cur == self.end {
+            None
+        } else {
+            Some(cur.succ())
+        };
         Some(cur)
     }
 }

@@ -36,12 +36,9 @@ impl EpsilonPolicy {
     fn interval(&self, tx: &TxState, now: u64) -> TsRange {
         let low = now.saturating_sub(self.epsilon).max(1);
         let high = now.saturating_add(self.epsilon);
-        TsRange::new(
-            Timestamp::new(low, 0),
-            Timestamp::new(high, u32::MAX),
-        )
-        .intersection(&TsRange::all())
-        .unwrap_or_else(|| TsRange::point(Timestamp::new(now.max(1), tx.process.0)))
+        TsRange::new(Timestamp::new(low, 0), Timestamp::new(high, u32::MAX))
+            .intersection(&TsRange::all())
+            .unwrap_or_else(|| TsRange::point(Timestamp::new(now.max(1), tx.process.0)))
     }
 }
 

@@ -140,7 +140,10 @@ mod tests {
 
     #[test]
     fn mvtl_to_suffers_ghost_aborts() {
-        assert!(ghost_schedule(ToPolicy::new()), "MVTL-TO should ghost-abort T1");
+        assert!(
+            ghost_schedule(ToPolicy::new()),
+            "MVTL-TO should ghost-abort T1"
+        );
     }
 
     #[test]

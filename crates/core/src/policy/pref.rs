@@ -129,8 +129,10 @@ impl LockingPolicy for PrefPolicy {
         // PossTS <- PossTS ∩ [tr+1, tmax]; alternatives at or below the version
         // read are no longer viable because no read lock can cover them.
         let tmax = grant.granted.max().unwrap_or(grant.version);
-        tx.ts_set
-            .intersect_range(TsRange::new(grant.version.succ(), tmax.max(grant.version.succ())));
+        tx.ts_set.intersect_range(TsRange::new(
+            grant.version.succ(),
+            tmax.max(grant.version.succ()),
+        ));
         Ok(grant.version)
     }
 
@@ -169,7 +171,10 @@ impl LockingPolicy for PrefPolicy {
             if candidates.contains(pref) {
                 return Some(pref);
             }
-            return candidates.intersection(&tx.ts_set).max().or_else(|| candidates.max());
+            return candidates
+                .intersection(&tx.ts_set)
+                .max()
+                .or_else(|| candidates.max());
         }
         tx.chosen_ts.filter(|t| candidates.contains(*t))
     }

@@ -273,10 +273,7 @@ where
         let mut candidates =
             TsSet::from_range(TsRange::new(Timestamp::ZERO.succ(), Timestamp::MAX));
         for (key, version) in &tx.read_set {
-            let held = tx
-                .locks_on(*key)
-                .map(HeldLocks::any)
-                .unwrap_or_default();
+            let held = tx.locks_on(*key).map(HeldLocks::any).unwrap_or_default();
             let start = version.succ();
             let mut allowed = TsSet::new();
             for range in held.ranges() {

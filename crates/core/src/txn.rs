@@ -135,7 +135,8 @@ impl TxState {
     }
 }
 
-/// A transaction handle returned by [`crate::MvtlStore::begin`].
+/// A transaction handle returned by the `begin` of [`crate::MvtlStore`]
+/// (via [`mvtl_common::TransactionalKV::begin`]).
 ///
 /// It owns the buffered writes ("the write is not visible to other transactions
 /// until the transaction commits", §4.3) and the policy-visible [`TxState`].

@@ -160,7 +160,9 @@ fn concurrent_blind_writers_all_commit_under_mvtil() {
             scope.spawn(move || {
                 for i in 0..100u64 {
                     let mut tx = store.begin(ProcessId(w + 1));
-                    if store.write(&mut tx, Key(i % 16), u64::from(w) * 1000 + i).is_err()
+                    if store
+                        .write(&mut tx, Key(i % 16), u64::from(w) * 1000 + i)
+                        .is_err()
                         || store.commit(tx).is_err()
                     {
                         aborted.fetch_add(1, Ordering::Relaxed);

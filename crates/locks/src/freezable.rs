@@ -95,10 +95,7 @@ impl FreezableLock {
                     }
                     return Ok(());
                 }
-                let other_reader_frozen = self
-                    .frozen_readers
-                    .iter()
-                    .any(|r| *r != tx);
+                let other_reader_frozen = self.frozen_readers.iter().any(|r| *r != tx);
                 let other_reader = self.readers.iter().any(|r| *r != tx);
                 if other_reader || other_reader_frozen {
                     return Err(FreezableLockError::Conflict {

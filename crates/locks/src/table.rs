@@ -158,8 +158,7 @@ impl KeyLockState {
     /// Releases every unfrozen lock of `owner` (both modes). Frozen locks stay
     /// forever (until purged together with their versions).
     pub fn release_unfrozen(&mut self, owner: TxId) {
-        self.entries
-            .retain(|e| e.owner != owner || e.frozen);
+        self.entries.retain(|e| e.owner != owner || e.frozen);
     }
 
     /// Releases the unfrozen locks of `owner` in `mode` restricted to `range`,
@@ -226,7 +225,10 @@ impl KeyLockState {
         self.entries
             .iter()
             .filter(|e| {
-                e.frozen && e.mode == LockMode::Write && e.owner != owner && e.range.overlaps(&range)
+                e.frozen
+                    && e.mode == LockMode::Write
+                    && e.owner != owner
+                    && e.range.overlaps(&range)
             })
             .filter_map(|e| e.overlap(&range).map(|r| r.start))
             .min()

@@ -71,10 +71,7 @@ fn no_conflicting_grants(state: &KeyLockState) -> bool {
     let entries = state.entries();
     for (i, a) in entries.iter().enumerate() {
         for b in entries.iter().skip(i + 1) {
-            if a.owner != b.owner
-                && a.mode.conflicts_with(b.mode)
-                && a.range.overlaps(&b.range)
-            {
+            if a.owner != b.owner && a.mode.conflicts_with(b.mode) && a.range.overlaps(&b.range) {
                 return false;
             }
         }

@@ -77,22 +77,22 @@ pub(crate) struct EventQueue {
 }
 
 impl EventQueue {
-    pub fn new() -> Self {
+    pub(crate) fn new() -> Self {
         EventQueue::default()
     }
 
-    pub fn push(&mut self, time: u64, kind: EventKind) {
+    pub(crate) fn push(&mut self, time: u64, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Event { time, seq, kind });
     }
 
-    pub fn pop(&mut self) -> Option<Event> {
+    pub(crate) fn pop(&mut self) -> Option<Event> {
         self.heap.pop()
     }
 
     #[cfg_attr(not(test), allow(dead_code))]
-    pub fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.heap.len()
     }
 }

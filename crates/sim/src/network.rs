@@ -110,13 +110,17 @@ mod tests {
     #[test]
     fn samples_are_positive_and_bounded() {
         let mut rng = StdRng::seed_from_u64(7);
-        for profile in [NetworkProfile::local_cluster(), NetworkProfile::public_cloud()] {
+        for profile in [
+            NetworkProfile::local_cluster(),
+            NetworkProfile::public_cloud(),
+        ] {
             for _ in 0..1_000 {
                 let lat = profile.sample_latency(&mut rng);
                 assert!(lat >= 1);
                 assert!(
                     lat as f64
-                        <= (profile.mean_latency_us + profile.jitter_us) * profile.spike_factor + 1.0
+                        <= (profile.mean_latency_us + profile.jitter_us) * profile.spike_factor
+                            + 1.0
                 );
                 let service = profile.sample_service(&mut rng);
                 assert!(service >= 1);

@@ -65,7 +65,7 @@ impl SimKeyState {
     /// is locked; the reply then says whether the obstacle is an unfrozen lock
     /// (the paper's algorithms wait in that case — the simulated client retries
     /// after a round trip) or a frozen one (the interval is truly exhausted).
-    pub fn mvtil_read(
+    pub(crate) fn mvtil_read(
         &mut self,
         owner: TxId,
         upper: Timestamp,
@@ -118,7 +118,7 @@ impl SimKeyState {
     /// Serves an MVTIL write-lock request: lock whatever part of `desired` is
     /// free right now. When nothing is free, report whether the conflict is
     /// with unfrozen locks (retry may help) or frozen ones (it cannot).
-    pub fn mvtil_write_lock(&mut self, owner: TxId, desired: &TsSet) -> MvtilWriteReply {
+    pub(crate) fn mvtil_write_lock(&mut self, owner: TxId, desired: &TsSet) -> MvtilWriteReply {
         let mut granted = TsSet::new();
         let mut blocked_unfrozen = false;
         for range in desired.ranges() {
@@ -143,7 +143,7 @@ impl SimKeyState {
 
     /// Freezes the write lock at the commit timestamp and installs the value
     /// (the server-side effect of the freeze-write-lock message, §H).
-    pub fn mvtil_commit_write(&mut self, owner: TxId, commit_ts: Timestamp, value: u64) {
+    pub(crate) fn mvtil_commit_write(&mut self, owner: TxId, commit_ts: Timestamp, value: u64) {
         self.locks
             .freeze(owner, LockMode::Write, TsRange::point(commit_ts));
         self.versions.install(commit_ts, value);
@@ -155,17 +155,25 @@ impl SimKeyState {
     /// Freezes the read locks between the version read and the commit
     /// timestamp and releases everything else (the freeze-read-locks /
     /// release messages of the distributed GC).
-    pub fn mvtil_commit_read(&mut self, owner: TxId, version: Timestamp, commit_ts: Timestamp) {
+    pub(crate) fn mvtil_commit_read(
+        &mut self,
+        owner: TxId,
+        version: Timestamp,
+        commit_ts: Timestamp,
+    ) {
         if version.succ() <= commit_ts {
-            self.locks
-                .freeze(owner, LockMode::Read, TsRange::new(version.succ(), commit_ts));
+            self.locks.freeze(
+                owner,
+                LockMode::Read,
+                TsRange::new(version.succ(), commit_ts),
+            );
         }
         self.locks.release_unfrozen(owner);
     }
 
     /// Releases every unfrozen lock of the transaction (abort path, or the
     /// commitment object deciding abort after a coordinator failure).
-    pub fn mvtil_release(&mut self, owner: TxId) {
+    pub(crate) fn mvtil_release(&mut self, owner: TxId) {
         self.locks.release_unfrozen(owner);
     }
 
@@ -173,7 +181,7 @@ impl SimKeyState {
 
     /// Serves an MVTO+ read at timestamp `ts`, bumping the read timestamp.
     /// Returns `None` when the needed version was purged.
-    pub fn mvto_read(&mut self, ts: Timestamp) -> Option<Timestamp> {
+    pub(crate) fn mvto_read(&mut self, ts: Timestamp) -> Option<Timestamp> {
         match self.mvto_versions.range(..ts).next_back() {
             Some((version, _)) => {
                 let version = *version;
@@ -197,7 +205,7 @@ impl SimKeyState {
 
     /// Validates and installs an MVTO+ write at `ts`. Returns whether the
     /// write was accepted.
-    pub fn mvto_write(&mut self, ts: Timestamp, value: u64) -> bool {
+    pub(crate) fn mvto_write(&mut self, ts: Timestamp, value: u64) -> bool {
         let allowed = match self.mvto_versions.range(..ts).next_back() {
             Some((_, (_, rts))) => *rts <= ts,
             None => self.mvto_bottom_rts <= ts,
@@ -211,7 +219,7 @@ impl SimKeyState {
     // --------------------------------------------------------------- 2PL ----
 
     /// Whether `client` could take the key's 2PL lock in the requested mode.
-    pub fn tpl_can_lock(&self, client: usize, write: bool) -> bool {
+    pub(crate) fn tpl_can_lock(&self, client: usize, write: bool) -> bool {
         if write {
             (self.tpl_writer.is_none() || self.tpl_writer == Some(client))
                 && self.tpl_readers.iter().all(|r| *r == client)
@@ -221,7 +229,7 @@ impl SimKeyState {
     }
 
     /// Takes the 2PL lock (the caller must have checked `tpl_can_lock`).
-    pub fn tpl_lock(&mut self, client: usize, write: bool) {
+    pub(crate) fn tpl_lock(&mut self, client: usize, write: bool) {
         if write {
             self.tpl_readers.remove(&client);
             self.tpl_writer = Some(client);
@@ -231,7 +239,7 @@ impl SimKeyState {
     }
 
     /// Releases the client's 2PL lock on this key.
-    pub fn tpl_unlock(&mut self, client: usize) {
+    pub(crate) fn tpl_unlock(&mut self, client: usize) {
         self.tpl_readers.remove(&client);
         if self.tpl_writer == Some(client) {
             self.tpl_writer = None;
@@ -242,7 +250,7 @@ impl SimKeyState {
 
     /// Purges versions and lock state older than `bound` (timestamp-service
     /// broadcast). Returns `(versions_removed, locks_removed)`.
-    pub fn purge_below(&mut self, bound: Timestamp) -> (usize, usize) {
+    pub(crate) fn purge_below(&mut self, bound: Timestamp) -> (usize, usize) {
         let v = self.versions.purge_below(bound);
         let l = self.locks.purge_below(bound);
         // MVTO+ versions purge, keeping the most recent below the bound.
@@ -270,7 +278,7 @@ impl SimKeyState {
     /// Number of lock entries this key currently holds (for the Figure 6
     /// series). For MVTO+, each version's read-timestamp counts as one lock
     /// interval, which is exactly the reading §3 gives it.
-    pub fn lock_count(&self) -> usize {
+    pub(crate) fn lock_count(&self) -> usize {
         let mvto_locks = self
             .mvto_versions
             .values()
@@ -284,7 +292,7 @@ impl SimKeyState {
     }
 
     /// Number of versions this key currently holds.
-    pub fn version_count(&self) -> usize {
+    pub(crate) fn version_count(&self) -> usize {
         self.versions.stats().versions
             + self.mvto_versions.len()
             + usize::from(self.tpl_value.is_some())
@@ -299,7 +307,7 @@ pub(crate) struct Server {
 }
 
 impl Server {
-    pub fn new(cores: usize) -> Self {
+    pub(crate) fn new(cores: usize) -> Self {
         Server {
             keys: HashMap::new(),
             core_free: vec![0; cores.max(1)],
@@ -310,7 +318,7 @@ impl Server {
     /// `service` microseconds; returns the completion time. Requests queue when
     /// every core is busy, which is how the cloud profile's scarce capacity
     /// translates into latency under load.
-    pub fn reserve(&mut self, arrival: u64, service: u64) -> u64 {
+    pub(crate) fn reserve(&mut self, arrival: u64, service: u64) -> u64 {
         let idx = self
             .core_free
             .iter()
@@ -324,19 +332,19 @@ impl Server {
         done
     }
 
-    pub fn key(&mut self, key: Key) -> &mut SimKeyState {
+    pub(crate) fn key(&mut self, key: Key) -> &mut SimKeyState {
         self.keys.entry(key).or_default()
     }
 
-    pub fn lock_count(&self) -> usize {
+    pub(crate) fn lock_count(&self) -> usize {
         self.keys.values().map(SimKeyState::lock_count).sum()
     }
 
-    pub fn version_count(&self) -> usize {
+    pub(crate) fn version_count(&self) -> usize {
         self.keys.values().map(SimKeyState::version_count).sum()
     }
 
-    pub fn purge_below(&mut self, bound: Timestamp) -> (usize, usize) {
+    pub(crate) fn purge_below(&mut self, bound: Timestamp) -> (usize, usize) {
         let mut versions = 0;
         let mut locks = 0;
         for state in self.keys.values_mut() {
@@ -372,17 +380,15 @@ mod tests {
         assert!(got.granted.is_empty());
         assert!(got.blocked_unfrozen);
         // ...but above the reader's interval it succeeds.
-        let got = state.mvtil_write_lock(writer, &TsSet::from_range(TsRange::new(ts(150), ts(200))));
+        let got =
+            state.mvtil_write_lock(writer, &TsSet::from_range(TsRange::new(ts(150), ts(200))));
         assert!(got.granted.contains(ts(150)));
         assert!(!got.blocked_unfrozen);
 
         state.mvtil_commit_write(writer, ts(150), 77);
         assert_eq!(state.versions.at(ts(150)), Some(&77));
         // After commit, only the frozen point remains of the writer's locks.
-        assert!(state
-            .locks
-            .held(writer, LockMode::Write)
-            .contains(ts(150)));
+        assert!(state.locks.held(writer, LockMode::Write).contains(ts(150)));
         assert!(!state.locks.held(writer, LockMode::Write).contains(ts(180)));
     }
 

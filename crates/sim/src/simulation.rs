@@ -379,7 +379,10 @@ impl Simulation {
                         self.clients[client_id].phase = Phase::WaitingForLock;
                         self.queue.push(
                             self.now + self.config.lock_timeout_us,
-                            EventKind::LockTimeout { client: client_id, attempt },
+                            EventKind::LockTimeout {
+                                client: client_id,
+                                attempt,
+                            },
                         );
                         return;
                     }
@@ -528,7 +531,10 @@ impl Simulation {
             self.clients[client_id].phase = Phase::CrashedDuringCommit;
             self.queue.push(
                 self.now + self.config.lock_timeout_us,
-                EventKind::LockTimeout { client: client_id, attempt },
+                EventKind::LockTimeout {
+                    client: client_id,
+                    attempt,
+                },
             );
             return;
         }
@@ -554,7 +560,11 @@ impl Simulation {
                 .mvtil_commit_write(tx_id, commit_ts, *value);
             self.queue.push(
                 done + latency_back,
-                EventKind::OpResponse { client: client_id, attempt, outcome: OpResult::Ok },
+                EventKind::OpResponse {
+                    client: client_id,
+                    attempt,
+                    outcome: OpResult::Ok,
+                },
             );
             pending += 1;
         }
@@ -601,7 +611,11 @@ impl Simulation {
             }
             self.queue.push(
                 done + latency_back,
-                EventKind::OpResponse { client: client_id, attempt, outcome: OpResult::Ok },
+                EventKind::OpResponse {
+                    client: client_id,
+                    attempt,
+                    outcome: OpResult::Ok,
+                },
             );
             pending += 1;
         }
@@ -670,10 +684,7 @@ impl Simulation {
 
     fn wake_tpl_waiters(&mut self, key: Key) {
         let server_idx = self.server_for(key);
-        loop {
-            let Some(waiter) = self.next_grantable_waiter(server_idx, key) else {
-                break;
-            };
+        while let Some(waiter) = self.next_grantable_waiter(server_idx, key) {
             // Grant the lock and schedule the (delayed) response to the waiter.
             let state = self.servers[server_idx].key(key);
             state.tpl_lock(waiter.client, waiter.write);
@@ -709,9 +720,10 @@ impl Simulation {
         let clients = &self.clients;
         let state = self.servers[server_idx].key(key);
         // Drop stale waiters (their transaction attempt already ended).
-        state
-            .tpl_waiters
-            .retain(|w| clients[w.client].attempt == w.attempt && clients[w.client].phase == Phase::WaitingForLock);
+        state.tpl_waiters.retain(|w| {
+            clients[w.client].attempt == w.attempt
+                && clients[w.client].phase == Phase::WaitingForLock
+        });
         let position = state
             .tpl_waiters
             .iter()

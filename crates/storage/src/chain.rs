@@ -92,11 +92,7 @@ impl<V: Clone> VersionChain<V> {
     ///
     /// Returns how many versions were removed.
     pub fn purge_below(&mut self, bound: Timestamp) -> usize {
-        let keep_latest_below = self
-            .versions
-            .range(..bound)
-            .next_back()
-            .map(|(t, _)| *t);
+        let keep_latest_below = self.versions.range(..bound).next_back().map(|(t, _)| *t);
         let to_remove: Vec<Timestamp> = self
             .versions
             .range(..bound)

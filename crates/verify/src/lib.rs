@@ -34,5 +34,5 @@ mod replay;
 pub mod schedules;
 
 pub use history::{CommittedTx, History};
-pub use mvsg::{check_serializable, MvsgChecker, SerializabilityViolation};
+pub use mvsg::{check_serializable, MvsgChecker, SerializabilityViolation, INITIAL_TX};
 pub use replay::{replay, replay_concurrent, ReplayReport};

@@ -33,7 +33,10 @@ impl ReplayReport {
     /// Whether the transaction with workload index `i` committed.
     #[must_use]
     pub fn committed(&self, i: usize) -> bool {
-        self.outcomes.get(i).map(TxOutcome::is_commit).unwrap_or(false)
+        self.outcomes
+            .get(i)
+            .map(TxOutcome::is_commit)
+            .unwrap_or(false)
     }
 }
 
@@ -60,10 +63,9 @@ where
             // Transaction already finished (engine abort or explicit end).
             continue;
         }
-        if !live.contains_key(&idx) {
+        if let std::collections::hash_map::Entry::Vacant(slot) = live.entry(idx) {
             let pinned = workload.pinned_timestamp(idx);
-            let txn = store.begin_at(ProcessId(idx as u32 + 1), pinned);
-            live.insert(idx, txn);
+            slot.insert(store.begin_at(ProcessId(idx as u32 + 1), pinned));
         }
         match &step.op {
             Op::Read(key) => {

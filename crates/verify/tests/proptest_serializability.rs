@@ -131,7 +131,7 @@ proptest! {
             }
             w.push(tx, Op::Commit);
             // Random (possibly non-monotonic) timestamps, all distinct.
-            w.pin_timestamp(tx, mvtl_common::Timestamp::at(10 + rng.gen_range(0..1000) * 2 + tx as u64 % 2));
+            w.pin_timestamp(tx, mvtl_common::Timestamp::at(10 + rng.gen_range(0u64..1000) * 2 + tx as u64 % 2));
         }
 
         let to_store = mvtl(ToPolicy::new());
@@ -169,7 +169,7 @@ fn concurrent_random_transactions_are_serializable_under_every_mvtl_policy() {
             }
             Ok(())
         });
-        assert!(history.len() > 0, "some transactions must commit");
+        assert!(!history.is_empty(), "some transactions must commit");
         if let Err(violation) = check_serializable(&history) {
             panic!("non-serializable concurrent history: {violation}");
         }

@@ -175,7 +175,10 @@ fn every_engine_produces_serializable_histories_on_the_paper_schedules() {
         run(&mvtl_store(PessimisticPolicy::new()), schedule);
         run(&mvtl_store(MvtilPolicy::early(100)), schedule);
         run(&mvtl_store(MvtilPolicy::late(100)), schedule);
-        run(&MvtoStore::<u64>::new(Arc::new(GlobalClock::new())), schedule);
+        run(
+            &MvtoStore::<u64>::new(Arc::new(GlobalClock::new())),
+            schedule,
+        );
         run(
             &TwoPhaseLockingStore::<u64>::new(
                 Arc::new(GlobalClock::new()),

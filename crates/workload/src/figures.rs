@@ -207,7 +207,11 @@ pub fn fig3_write_fraction(scale: Scale) -> FigureTable {
     };
     let mut rows = Vec::new();
     for fraction in fractions {
-        for protocol in [Protocol::MvtoPlus, Protocol::TwoPhaseLocking, Protocol::MvtilEarly] {
+        for protocol in [
+            Protocol::MvtoPlus,
+            Protocol::TwoPhaseLocking,
+            Protocol::MvtilEarly,
+        ] {
             let config = SimConfig::local_cluster(protocol)
                 .clients(clients)
                 .keys(scale.scale_keys(10_000))
@@ -441,14 +445,18 @@ pub fn ablation_gc_period(scale: Scale) -> FigureTable {
     };
     let mut rows = Vec::new();
     for &period in periods {
-        let config = state_size_config(Protocol::MvtilEarly, scale, period)
-            .gc_lag_secs(period.unwrap_or(1));
+        let config =
+            state_size_config(Protocol::MvtilEarly, scale, period).gc_lag_secs(period.unwrap_or(1));
         let mut row = aggregate_row(
             "gc_period_s",
             period.map(|p| p as f64).unwrap_or(f64::INFINITY),
             config,
         );
-        row.protocol = if period.is_none() { "no-GC" } else { "MVTIL-GC" };
+        row.protocol = if period.is_none() {
+            "no-GC"
+        } else {
+            "MVTIL-GC"
+        };
         rows.push(row);
     }
     FigureTable {

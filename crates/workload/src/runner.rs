@@ -2,7 +2,7 @@
 //!
 //! The paper's clients "submit transactions repeatedly in a closed-loop"
 //! (§8.3); this runner does the same against any
-//! [`TransactionalKV`](mvtl_common::TransactionalKV) engine, with one thread
+//! [`TransactionalKV`] engine, with one thread
 //! per client. It is the harness behind the Criterion micro-benchmarks and the
 //! in-process examples (the distributed experiments use `mvtl-sim` instead).
 
@@ -96,7 +96,7 @@ where
             let seed = options.seed;
             let make_value = &make_value;
             scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(seed ^ (client as u64 + 1) * 0x9E37_79B9);
+                let mut rng = StdRng::seed_from_u64(seed ^ ((client as u64 + 1) * 0x9E37_79B9));
                 let process = ProcessId(client as u32 + 1);
                 let mut counter = 0u64;
                 while !stop.load(Ordering::Relaxed) {

@@ -37,13 +37,16 @@ fn main() {
             .write_fraction(0.25)
             .duration_secs(3)
     });
-    run_profile("public cloud (8 single-core servers, jittery network)", |protocol| {
-        SimConfig::public_cloud(protocol)
-            .clients(80)
-            .keys(5_000)
-            .write_fraction(0.25)
-            .duration_secs(3)
-    });
+    run_profile(
+        "public cloud (8 single-core servers, jittery network)",
+        |protocol| {
+            SimConfig::public_cloud(protocol)
+                .clients(80)
+                .keys(5_000)
+                .write_fraction(0.25)
+                .duration_secs(3)
+        },
+    );
 
     // Failure handling (§H): coordinators crash mid-commit with 2% probability;
     // the commitment object aborts their transactions after the servers'

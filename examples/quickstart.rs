@@ -27,7 +27,8 @@ fn main() -> Result<(), TxError> {
     println!(
         "initialized {} keys at timestamp {}",
         info.writes.len(),
-        info.commit_ts.expect("multiversion engines report a commit timestamp"),
+        info.commit_ts
+            .expect("multiversion engines report a commit timestamp"),
     );
 
     // Transaction 2: read-modify-write.

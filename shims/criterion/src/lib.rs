@@ -1,0 +1,299 @@
+//! Offline shim for the [`criterion`](https://docs.rs/criterion) crate.
+//!
+//! The build environment has no crates.io access, so this crate implements the
+//! slice of criterion's API used by the workspace's benches: [`Criterion`],
+//! [`criterion_group!`]/[`criterion_main!`], benchmark groups with
+//! `sample_size`/`warm_up_time`/`measurement_time`, and [`Bencher::iter`].
+//!
+//! Measurement is intentionally simple — per sample, the shim times a batch of
+//! iterations sized so a sample takes roughly a millisecond, then reports the
+//! median and min/max per-iteration time. There are no plots, no statistical
+//! regression, and no saved baselines, but relative numbers between engines
+//! are meaningful and `cargo bench` completes quickly. Benches are written
+//! against the real criterion API, so restoring the crates.io dependency
+//! requires no source changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLES: usize = 30;
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as a free argument;
+        // `--bench`/`--exact` style flags are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: DEFAULT_SAMPLES,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target measurement duration per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark function.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            warm_up_time: None,
+            measurement_time: None,
+        }
+    }
+
+    fn run<F>(&self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(name);
+    }
+}
+
+/// A group of related benchmarks sharing configuration, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    warm_up_time: Option<Duration>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets the warm-up duration for benchmarks in this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = Some(d);
+        self
+    }
+
+    /// Sets the target measurement duration for benchmarks in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Runs one benchmark in this group as `group_name/bench_name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            warm_up_time: self.warm_up_time.unwrap_or(self.criterion.warm_up_time),
+            measurement_time: self
+                .measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&full);
+        self
+    }
+
+    /// Consumes the group, mirroring criterion's summary hook (a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Times closures for one benchmark, mirroring `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it in batches until the measurement budget is
+    /// spent.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up: run for the configured duration and estimate cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size each sample's batch so all samples fit in the measurement time.
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples: bencher.iter was never called)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{name:<50} time: [{} {} {}]",
+            format_time(min),
+            format_time(median),
+            format_time(max)
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.4} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default();
+        c.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(2u64 + 2));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_apply_overrides() {
+        let mut c = Criterion::default();
+        c.warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        group.bench_function("inner", |b| b.iter(|| black_box(1)));
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(2.0), "2.0000 s");
+        assert_eq!(format_time(2e-3), "2.0000 ms");
+        assert_eq!(format_time(2e-6), "2.0000 µs");
+        assert_eq!(format_time(2e-9), "2.0000 ns");
+    }
+}

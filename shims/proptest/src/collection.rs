@@ -1,0 +1,35 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use std::fmt;
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+/// Strategy returned by [`vec()`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: fmt::Debug,
+{
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.end - self.size.start;
+        let len = self.size.start + if span == 0 { 0 } else { rng.below(span) };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy producing `Vec`s of values from `element`, with a length drawn
+/// uniformly from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(
+        size.start < size.end,
+        "collection::vec size range must be non-empty"
+    );
+    VecStrategy { element, size }
+}

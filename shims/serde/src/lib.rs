@@ -1,0 +1,37 @@
+//! Offline shim for the [`serde`](https://docs.rs/serde) crate.
+//!
+//! The build environment has no crates.io access, and the workspace only uses
+//! serde in derive position. This facade mirrors serde's public layout —
+//! `Serialize`/`Deserialize` exist both as traits and as derive macros under
+//! the same names — but the derives expand to nothing, so no type actually
+//! implements the traits. Point `[workspace.dependencies] serde` back at
+//! crates.io (with the `derive` feature) to restore real serialization; no
+//! source changes are required anywhere else.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The no-op derive never implements it; it exists so `use serde::Serialize`
+/// resolves in both the type and macro namespaces, as with real serde.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Mirror of serde's `de` module, for `serde::de::DeserializeOwned` paths.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of serde's `ser` module.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,23 @@
+//! Offline shim for the [`serde_derive`](https://docs.rs/serde_derive) crate.
+//!
+//! The workspace only uses `serde` in derive position (`#[derive(Serialize,
+//! Deserialize)]`) — no code actually serializes anything yet — so these
+//! derives expand to nothing. That keeps every `#[derive(...)]` attribute in
+//! the source compiling verbatim, ready for the real `serde` when the build
+//! environment gains registry access.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

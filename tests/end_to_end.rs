@@ -24,7 +24,10 @@ fn facade_quickstart_roundtrip() -> Result<(), TxError> {
     store.write(&mut tx, Key::from_name("k"), "v".to_string())?;
     store.commit(tx)?;
     let mut tx = store.begin(ProcessId(1));
-    assert_eq!(store.read(&mut tx, Key::from_name("k"))?, Some("v".to_string()));
+    assert_eq!(
+        store.read(&mut tx, Key::from_name("k"))?,
+        Some("v".to_string())
+    );
     store.commit(tx)?;
     Ok(())
 }

@@ -4,7 +4,6 @@
 
 use mvtl::baselines::MvtoStore;
 use mvtl::clock::GlobalClock;
-use mvtl::common::TransactionalKV;
 use mvtl::core::policy::{EpsilonPolicy, GhostbusterPolicy, PrefPolicy, ToPolicy};
 use mvtl::core::{MvtlConfig, MvtlStore};
 use mvtl::verify::schedules::{
