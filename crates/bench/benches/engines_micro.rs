@@ -1,89 +1,36 @@
 //! Micro-benchmarks of the centralized engines: one small read-write
 //! transaction per iteration on every protocol.
+//!
+//! The engine list comes from `mvtl_registry::all_specs()` and every engine is
+//! driven through the object-safe `dyn Engine` layer — registering a new
+//! engine automatically adds it to this benchmark, with no per-engine code.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mvtl_baselines::{MvtoStore, TwoPhaseLockingStore};
-use mvtl_clock::GlobalClock;
-use mvtl_common::{Key, ProcessId, TransactionalKV};
-use mvtl_core::policy::{GhostbusterPolicy, MvtilPolicy, ToPolicy};
-use mvtl_core::{MvtlConfig, MvtlStore};
+use mvtl_common::{EngineExt, Key, ProcessId};
 use std::hint::black_box;
-use std::sync::Arc;
-use std::time::Duration;
-
-fn run_one<S: TransactionalKV<u64>>(store: &S, round: u64) {
-    let mut tx = store.begin(ProcessId(1));
-    for i in 0..4u64 {
-        let key = Key((round * 4 + i) % 512);
-        if i % 2 == 0 {
-            let _ = store.read(&mut tx, key);
-        } else {
-            let _ = store.write(&mut tx, key, round);
-        }
-    }
-    let _ = black_box(store.commit(tx));
-}
 
 fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("engines_micro");
 
-    let mvtil: MvtlStore<u64, _> = MvtlStore::new(
-        MvtilPolicy::early(1_000_000),
-        Arc::new(GlobalClock::new()),
-        MvtlConfig::default(),
-    );
-    let mut round = 0u64;
-    group.bench_function("mvtil-early", |b| {
-        b.iter(|| {
-            round += 1;
-            run_one(&mvtil, round)
-        })
-    });
-
-    let to: MvtlStore<u64, _> = MvtlStore::new(
-        ToPolicy::new(),
-        Arc::new(GlobalClock::new()),
-        MvtlConfig::default(),
-    );
-    let mut round = 0u64;
-    group.bench_function("mvtl-to", |b| {
-        b.iter(|| {
-            round += 1;
-            run_one(&to, round)
-        })
-    });
-
-    let ghost: MvtlStore<u64, _> = MvtlStore::new(
-        GhostbusterPolicy::new(),
-        Arc::new(GlobalClock::new()),
-        MvtlConfig::default(),
-    );
-    let mut round = 0u64;
-    group.bench_function("mvtl-ghostbuster", |b| {
-        b.iter(|| {
-            round += 1;
-            run_one(&ghost, round)
-        })
-    });
-
-    let mvto: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
-    let mut round = 0u64;
-    group.bench_function("mvto+", |b| {
-        b.iter(|| {
-            round += 1;
-            run_one(&mvto, round)
-        })
-    });
-
-    let tpl: TwoPhaseLockingStore<u64> =
-        TwoPhaseLockingStore::new(Arc::new(GlobalClock::new()), Duration::from_millis(10));
-    let mut round = 0u64;
-    group.bench_function("2pl", |b| {
-        b.iter(|| {
-            round += 1;
-            run_one(&tpl, round)
-        })
-    });
+    for spec in mvtl_registry::all_specs() {
+        let engine = mvtl_registry::build(spec).expect("registry spec must build");
+        let mut round = 0u64;
+        group.bench_function(engine.name(), |b| {
+            b.iter(|| {
+                round += 1;
+                let mut tx = engine.begin(ProcessId(1));
+                for i in 0..4u64 {
+                    let key = Key((round * 4 + i) % 512);
+                    if i % 2 == 0 {
+                        let _ = tx.read(key);
+                    } else {
+                        let _ = tx.write(key, round);
+                    }
+                }
+                let _ = black_box(tx.commit());
+            })
+        });
+    }
 
     group.finish();
 }

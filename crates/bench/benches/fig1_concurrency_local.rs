@@ -1,29 +1,41 @@
-//! Smoke-scale benchmark of the simulated experiment behind Figure 1 (concurrency, local test bed).
-//! The full series is produced by `cargo run -p mvtl-bench --bin fig1`.
+//! Smoke-scale benchmark of fig1-shaped transactions (20 ops, 25% writes,
+//! local-test-bed key range) on registry-built engines, driven through the
+//! object-safe `dyn Engine` layer: regressions in an engine's commit path or
+//! the dyn dispatch layer show up as slower iterations here.
+//! The full multi-client series is produced by
+//! `cargo run -p mvtl-bench --bin fig1`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mvtl_sim::{Protocol, SimConfig, Simulation};
+use mvtl_common::{EngineExt, Key, ProcessId};
 use std::hint::black_box;
 use std::time::Duration;
 
-fn config(protocol: Protocol) -> SimConfig {
-    SimConfig::local_cluster(protocol)
-        .ops_per_tx(20)
-        .write_fraction(0.25)
-        .clients(12)
-        .keys(400)
-        .duration_secs(1)
-        .seed(17)
-}
+const OPS_PER_TX: u64 = 20;
+const KEYS: u64 = 400;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1");
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(3));
-    for protocol in [Protocol::MvtilEarly, Protocol::MvtoPlus] {
-        group.bench_function(protocol.name(), |b| {
-            b.iter(|| black_box(Simulation::new(config(protocol)).run()))
+    for spec in ["mvtil-early", "mvto+", "2pl"] {
+        let engine = mvtl_registry::build(spec).expect("registry spec must build");
+        let mut round = 0u64;
+        group.bench_function(engine.name(), |b| {
+            b.iter(|| {
+                round += 1;
+                let mut tx = engine.begin(ProcessId(1));
+                for i in 0..OPS_PER_TX {
+                    let key = Key((round * OPS_PER_TX + i * 7) % KEYS);
+                    // Every 4th operation writes: the paper's 25% write mix.
+                    if i % 4 == 0 {
+                        let _ = tx.write(key, round);
+                    } else {
+                        let _ = tx.read(key);
+                    }
+                }
+                let _ = black_box(tx.commit());
+            })
         });
     }
     group.finish();

@@ -69,23 +69,13 @@ impl TxOutcome {
 /// All engines in the workspace implement this trait. `V` is the value type;
 /// the paper's evaluation uses small strings, the benchmarks here use `u64`.
 ///
-/// # Example
-///
-/// ```
-/// use mvtl_common::{Key, ProcessId, TransactionalKV, TxError};
-///
-/// fn transfer<S: TransactionalKV<u64>>(store: &S, from: Key, to: Key, amount: u64)
-///     -> Result<(), TxError>
-/// {
-///     let mut tx = store.begin(ProcessId(0));
-///     let a = store.read(&mut tx, from)?.unwrap_or(0);
-///     let b = store.read(&mut tx, to)?.unwrap_or(0);
-///     store.write(&mut tx, from, a.saturating_sub(amount))?;
-///     store.write(&mut tx, to, b + amount)?;
-///     store.commit(tx)?;
-///     Ok(())
-/// }
-/// ```
+/// This trait has an associated `Txn` type and is therefore not object-safe;
+/// it is the surface an *engine author* implements. Consumers (workload
+/// runners, the verifier, benchmarks) should program against the object-safe
+/// [`Engine`](crate::Engine) layer instead, which every `TransactionalKV`
+/// engine gets for free via a blanket impl — see the
+/// [`EngineExt::run`](crate::EngineExt::run) retry loop for the idiomatic
+/// transfer example.
 pub trait TransactionalKV<V>: Send + Sync {
     /// Per-transaction handle.
     type Txn: Send;

@@ -21,6 +21,11 @@
 //! * [`kv`] — the `TransactionalKV` trait implemented by every engine in the
 //!   workspace (all MVTL policies, MVTO+, 2PL), so benchmarks, tests and the
 //!   serializability checker can drive them uniformly.
+//! * [`engine`] — the object-safe [`Engine`] layer over `TransactionalKV`:
+//!   boxed [`TxHandle`]s, the RAII [`Transaction`] guard (abort on drop), and
+//!   the [`EngineExt::run`] retry loop. `Box<dyn Engine<V>>` is what the
+//!   string-spec registry (`mvtl-registry`) hands out and what every consumer
+//!   drives.
 //!
 //! # Example
 //!
@@ -38,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 mod error;
 mod ids;
 pub mod kv;
@@ -45,6 +51,7 @@ pub mod ops;
 mod timestamp;
 mod tsset;
 
+pub use engine::{Engine, EngineExt, RetryOptions, RunReport, Transaction, TxHandle};
 pub use error::{AbortReason, TxError};
 pub use ids::{Key, ProcessId, TxId};
 pub use kv::{CommitInfo, TransactionalKV, TxOutcome};

@@ -8,6 +8,7 @@
 
 use crate::{Key, Timestamp};
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use std::fmt;
 
 /// Index of a transaction inside a [`Workload`] (not a runtime [`crate::TxId`]).
@@ -140,7 +141,7 @@ impl Workload {
     /// starts. Used by the serial-abort checks (Theorem 4).
     #[must_use]
     pub fn is_serial(&self) -> bool {
-        let mut finished: Vec<WorkloadTxIndex> = Vec::new();
+        let mut finished: HashSet<WorkloadTxIndex> = HashSet::new();
         let mut current: Option<WorkloadTxIndex> = None;
         for step in &self.steps {
             if finished.contains(&step.tx) {
@@ -152,7 +153,7 @@ impl Workload {
                 Some(_) => {}
             }
             if matches!(step.op, Op::Commit | Op::Abort) {
-                finished.push(step.tx);
+                finished.insert(step.tx);
                 current = None;
             }
         }
@@ -160,26 +161,27 @@ impl Workload {
     }
 
     /// Renders the workload as one line per transaction, in the style of the
-    /// paper's schedule diagrams.
+    /// paper's schedule diagrams. Each step occupies one 10-character column.
     #[must_use]
     pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        const COL: usize = 10;
         let n = self.transaction_count();
         let mut lines = vec![String::new(); n];
         for (col, step) in self.steps.iter().enumerate() {
-            for (tx, line) in lines.iter_mut().enumerate() {
-                let cell = if tx == step.tx {
-                    format!("{}", step.op)
-                } else {
-                    String::new()
-                };
-                line.push_str(&format!("{cell:<10}"));
-                let _ = col;
+            let line = &mut lines[step.tx];
+            // Pad the owning row out to this step's column; all other rows
+            // stay short until their transaction acts again.
+            let target = col * COL;
+            if line.len() < target {
+                line.extend(std::iter::repeat_n(' ', target - line.len()));
             }
+            let _ = write!(line, "{:<COL$}", step.op);
         }
         lines
             .into_iter()
             .enumerate()
-            .map(|(i, l)| format!("T{i}: {l}"))
+            .map(|(i, l)| format!("T{i}: {}", l.trim_end()))
             .collect::<Vec<_>>()
             .join("\n")
     }

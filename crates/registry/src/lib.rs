@@ -1,0 +1,386 @@
+//! # mvtl-registry
+//!
+//! The string-spec engine registry: one uniform way to construct every
+//! concurrency-control engine in the workspace as a `Box<dyn Engine<V>>`.
+//!
+//! The paper's whole point is comparing many protocols (six MVTL policies,
+//! MVTO+, 2PL) on identical inputs. With the object-safe [`Engine`] layer, a
+//! consumer only needs a way to *name* an engine; this crate provides it:
+//!
+//! ```text
+//! "mvtil-early"                  MVTIL with early commit-timestamp pick
+//! "mvtil-late?delta=5000"        MVTIL-late, interval width Δ = 5000 ticks
+//! "mvtl-pref?offset=-28"         MVTL-Pref with alternative offsets
+//! "mvtl-epsilon-clock?eps=16"    MVTL-ε-clock
+//! "2pl?timeout_ms=10"            strict 2PL, 10 ms deadlock timeout
+//! "mvto+"                        the MVTO+ baseline
+//! ```
+//!
+//! A spec is `name` optionally followed by `?key=value&key=value` parameters.
+//! [`build`] turns a spec into a ready `Box<dyn Engine<u64>>` ([`build_for`]
+//! for other value types), and [`all_specs`] enumerates one canonical spec per
+//! engine so sweeps (benchmarks, figure binaries, CI smoke runs) pick up new
+//! engines automatically. Adding an engine to the workspace is now a one-line
+//! change here, not an edit to every consumer.
+//!
+//! # Example
+//!
+//! ```
+//! use mvtl_common::{EngineExt, Key, ProcessId};
+//!
+//! let engine = mvtl_registry::build("mvtil-early?delta=1000").unwrap();
+//! assert_eq!(engine.name(), "mvtil-early");
+//!
+//! let mut tx = engine.begin(ProcessId(1));
+//! tx.write(Key(1), 42).unwrap();
+//! tx.commit().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mvtl_baselines::{MvtoStore, TwoPhaseLockingStore};
+use mvtl_clock::GlobalClock;
+use mvtl_common::Engine;
+use mvtl_core::policy::{
+    EpsilonPolicy, GhostbusterPolicy, LockingPolicy, MvtilPolicy, PessimisticPolicy, PrefPolicy,
+    PrioPolicy, ToPolicy,
+};
+use mvtl_core::{MvtlConfig, MvtlStore};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors produced while parsing a spec or constructing an engine from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The base name does not match any registered engine.
+    UnknownEngine {
+        /// The base name that failed to resolve.
+        name: String,
+    },
+    /// A parameter is not understood by the selected engine.
+    UnknownParam {
+        /// The engine the spec selected.
+        engine: String,
+        /// The offending parameter key.
+        param: String,
+    },
+    /// A parameter value failed to parse.
+    InvalidValue {
+        /// The parameter key.
+        param: String,
+        /// The value that failed to parse.
+        value: String,
+    },
+    /// The spec is syntactically malformed (empty name, `key` without `=`, ...).
+    Malformed {
+        /// Description of the problem.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownEngine { name } => {
+                write!(f, "unknown engine {name:?}; known specs: ")?;
+                for (i, spec) in all_specs().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{spec}")?;
+                }
+                Ok(())
+            }
+            SpecError::UnknownParam { engine, param } => {
+                write!(
+                    f,
+                    "engine {engine:?} does not understand parameter {param:?}"
+                )
+            }
+            SpecError::InvalidValue { param, value } => {
+                write!(f, "invalid value {value:?} for parameter {param:?}")
+            }
+            SpecError::Malformed { detail } => write!(f, "malformed engine spec: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A parsed engine spec: base name plus `key=value` parameters, in spec order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineSpec {
+    /// The engine's base name (what [`Engine::name`] reports).
+    pub name: String,
+    /// The parameters, in the order they appeared.
+    pub params: Vec<(String, String)>,
+}
+
+impl EngineSpec {
+    /// Parses `spec` (`"name"` or `"name?key=value&key=value"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Malformed`] when the name is empty or a parameter
+    /// lacks a `=`.
+    pub fn parse(spec: &str) -> Result<Self, SpecError> {
+        let (name, query) = match spec.split_once('?') {
+            Some((name, query)) => (name, Some(query)),
+            None => (spec, None),
+        };
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(SpecError::Malformed {
+                detail: format!("empty engine name in {spec:?}"),
+            });
+        }
+        let mut params = Vec::new();
+        if let Some(query) = query {
+            for pair in query.split('&').filter(|p| !p.is_empty()) {
+                let (key, value) = pair.split_once('=').ok_or_else(|| SpecError::Malformed {
+                    detail: format!("parameter {pair:?} is not key=value"),
+                })?;
+                params.push((key.trim().to_string(), value.trim().to_string()));
+            }
+        }
+        Ok(EngineSpec {
+            name: name.to_string(),
+            params,
+        })
+    }
+
+    fn take(&mut self, key: &str) -> Option<String> {
+        let idx = self.params.iter().position(|(k, _)| k == key)?;
+        Some(self.params.remove(idx).1)
+    }
+
+    fn take_parsed<T: std::str::FromStr>(&mut self, key: &str) -> Result<Option<T>, SpecError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some(value) => value
+                .parse()
+                .map(Some)
+                .map_err(|_| SpecError::InvalidValue {
+                    param: key.to_string(),
+                    value,
+                }),
+        }
+    }
+
+    /// Errors out if any parameter was not consumed by the engine constructor.
+    fn finish(self) -> Result<(), SpecError> {
+        match self.params.into_iter().next() {
+            None => Ok(()),
+            Some((param, _)) => Err(SpecError::UnknownParam {
+                engine: self.name,
+                param,
+            }),
+        }
+    }
+}
+
+/// Default MVTIL interval width Δ (in clock ticks) when a spec omits `delta`.
+pub const DEFAULT_DELTA: u64 = 100_000;
+/// Default ε (clock-synchronization bound, in ticks) for `mvtl-epsilon-clock`.
+pub const DEFAULT_EPSILON: u64 = 8;
+/// Default 2PL deadlock-resolution timeout in milliseconds.
+pub const DEFAULT_2PL_TIMEOUT_MS: u64 = 10;
+
+/// One canonical spec per registered engine, for sweeps.
+///
+/// Benchmarks, figure binaries and CI smoke runs iterate this list, so wiring
+/// a new engine into the registry automatically enrolls it everywhere.
+#[must_use]
+pub fn all_specs() -> Vec<&'static str> {
+    vec![
+        "mvtil-early",
+        "mvtil-late",
+        "mvtl-to",
+        "mvtl-ghostbuster",
+        "mvtl-epsilon-clock",
+        "mvtl-pref",
+        "mvtl-prio",
+        "mvtl-pessimistic",
+        "mvto+",
+        "2pl",
+    ]
+}
+
+/// Builds the engine described by `spec` storing `u64` values — the value type
+/// used throughout the benchmarks and the verifier.
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] when the spec is malformed, names an unknown
+/// engine, or carries an unknown/invalid parameter.
+pub fn build(spec: &str) -> Result<Box<dyn Engine<u64>>, SpecError> {
+    build_for::<u64>(spec)
+}
+
+/// Builds the engine described by `spec` for an arbitrary value type.
+///
+/// Shared parameters for every engine: `clock_start` (initial reading of the
+/// global clock, default 0). Shared parameters for all MVTL-core engines:
+/// `timeout_ms` (lock-wait timeout, default 100) and `shards` (key-map shard
+/// count, default 64). Engine-specific parameters: `delta` (MVTIL, ticks),
+/// `eps` (`mvtl-epsilon-clock`, ticks), `offset` (`mvtl-pref`,
+/// comma-separated signed tick offsets), `timeout_ms` (2PL, milliseconds).
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] when the spec is malformed, names an unknown
+/// engine, or carries an unknown/invalid parameter.
+pub fn build_for<V>(spec: &str) -> Result<Box<dyn Engine<V>>, SpecError>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    let mut parsed = EngineSpec::parse(spec)?;
+    let clock: Arc<GlobalClock> = match parsed.take_parsed::<u64>("clock_start")? {
+        Some(start) => Arc::new(GlobalClock::starting_at(start)),
+        None => Arc::new(GlobalClock::new()),
+    };
+    let engine: Box<dyn Engine<V>> = match parsed.name.as_str() {
+        "mvtil-early" | "mvtil-late" => {
+            let delta = parsed.take_parsed("delta")?.unwrap_or(DEFAULT_DELTA);
+            let policy = if parsed.name == "mvtil-early" {
+                MvtilPolicy::early(delta)
+            } else {
+                MvtilPolicy::late(delta)
+            };
+            mvtl_engine(policy, clock, &mut parsed)?
+        }
+        "mvtl-to" => mvtl_engine(ToPolicy::new(), clock, &mut parsed)?,
+        "mvtl-ghostbuster" => mvtl_engine(GhostbusterPolicy::new(), clock, &mut parsed)?,
+        "mvtl-epsilon-clock" => {
+            let eps = parsed.take_parsed("eps")?.unwrap_or(DEFAULT_EPSILON);
+            mvtl_engine(EpsilonPolicy::new(eps), clock, &mut parsed)?
+        }
+        "mvtl-pref" => {
+            let policy = match parsed.take("offset") {
+                None => PrefPolicy::new(),
+                Some(list) => PrefPolicy::with_offsets(parse_offsets(&list)?),
+            };
+            mvtl_engine(policy, clock, &mut parsed)?
+        }
+        "mvtl-prio" => mvtl_engine(PrioPolicy::new(), clock, &mut parsed)?,
+        "mvtl-pessimistic" => mvtl_engine(PessimisticPolicy::new(), clock, &mut parsed)?,
+        "mvto+" => Box::new(MvtoStore::<V>::new(clock)),
+        "2pl" => {
+            let timeout_ms = parsed
+                .take_parsed("timeout_ms")?
+                .unwrap_or(DEFAULT_2PL_TIMEOUT_MS);
+            Box::new(TwoPhaseLockingStore::<V>::new(
+                clock,
+                Duration::from_millis(timeout_ms),
+            ))
+        }
+        other => {
+            return Err(SpecError::UnknownEngine {
+                name: other.to_string(),
+            })
+        }
+    };
+    parsed.finish()?;
+    Ok(engine)
+}
+
+/// Builds an `MvtlStore` around `policy`, consuming the shared MVTL
+/// parameters (`timeout_ms`, `shards`) from the spec.
+fn mvtl_engine<V, P>(
+    policy: P,
+    clock: Arc<GlobalClock>,
+    parsed: &mut EngineSpec,
+) -> Result<Box<dyn Engine<V>>, SpecError>
+where
+    V: Clone + Send + Sync + 'static,
+    P: LockingPolicy + 'static,
+{
+    let mut config = MvtlConfig::default();
+    if let Some(timeout_ms) = parsed.take_parsed::<u64>("timeout_ms")? {
+        config = config.with_lock_wait_timeout(Duration::from_millis(timeout_ms));
+    }
+    if let Some(shards) = parsed.take_parsed::<usize>("shards")? {
+        config = config.with_shards(shards);
+    }
+    Ok(Box::new(MvtlStore::<V, P>::new(policy, clock, config)))
+}
+
+fn parse_offsets(list: &str) -> Result<Vec<i64>, SpecError> {
+    list.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<i64>()
+                .map_err(|_| SpecError::InvalidValue {
+                    param: "offset".to_string(),
+                    value: s.trim().to_string(),
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_splits_name_and_params() {
+        let spec = EngineSpec::parse("mvtl-pref?offset=5&timeout_ms=20").unwrap();
+        assert_eq!(spec.name, "mvtl-pref");
+        assert_eq!(
+            spec.params,
+            vec![
+                ("offset".to_string(), "5".to_string()),
+                ("timeout_ms".to_string(), "20".to_string())
+            ]
+        );
+        assert_eq!(EngineSpec::parse("2pl").unwrap().params, vec![]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(matches!(
+            EngineSpec::parse("?delta=5"),
+            Err(SpecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            EngineSpec::parse("mvtil-early?delta"),
+            Err(SpecError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_engines_and_params_are_rejected() {
+        assert!(matches!(
+            build("silo").map(|_| ()),
+            Err(SpecError::UnknownEngine { .. })
+        ));
+        assert!(matches!(
+            build("mvto+?delta=5").map(|_| ()),
+            Err(SpecError::UnknownParam { .. })
+        ));
+        assert!(matches!(
+            build("mvtil-early?delta=banana").map(|_| ()),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        let msg = build("silo").map(|_| ()).unwrap_err().to_string();
+        assert!(
+            msg.contains("mvtil-early"),
+            "error lists known specs: {msg}"
+        );
+    }
+
+    #[test]
+    fn offsets_parse_as_comma_separated_signed_list() {
+        assert_eq!(parse_offsets("-28, 3,0").unwrap(), vec![-28, 3, 0]);
+        assert!(parse_offsets("a").is_err());
+        assert!(build("mvtl-pref?offset=-28,-3").is_ok());
+    }
+
+    #[test]
+    fn string_values_build_too() {
+        let engine = build_for::<String>("mvtil-early?delta=1000").unwrap();
+        assert_eq!(engine.name(), "mvtil-early");
+    }
+}

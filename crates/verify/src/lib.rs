@@ -15,8 +15,11 @@
 //! * [`MvsgChecker`] / [`check_serializable`] — builds the MVSG and looks for a
 //!   cycle, returning the offending cycle when one exists.
 //! * [`replay`] — replays a [`Workload`](mvtl_common::ops::Workload) (the §2
-//!   workload model, with optionally pinned timestamps) against any engine and
-//!   returns both the per-transaction outcomes and the committed history.
+//!   workload model, with optionally pinned timestamps) against any
+//!   `dyn` [`Engine`](mvtl_common::Engine) and returns both the
+//!   per-transaction outcomes and the committed history. One compiled replay
+//!   loop serves every engine; per-attempt cleanup rides on the RAII
+//!   [`Transaction`](mvtl_common::Transaction) guard.
 //! * [`schedules`] — the canonical schedules from the paper: the serial-abort
 //!   schedule of §5.3, the ghost-abort schedule of §5.5, and the Theorem 2
 //!   workload family, each parameterized so the same input can be thrown at

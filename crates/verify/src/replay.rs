@@ -1,8 +1,16 @@
 //! Replaying workloads (the §2 model) against any engine.
+//!
+//! Both replay harnesses consume the object-safe `dyn`
+//! [`Engine`] layer, so one compiled replay loop drives every protocol in the
+//! workspace (and any engine built from an `mvtl-registry` string spec).
+//! Transactions are handled through the RAII
+//! [`Transaction`](mvtl_common::Transaction) guard: a transaction the engine
+//! aborted mid-operation, or one left open at the end of a workload, is
+//! cleaned up by dropping its guard.
 
 use crate::History;
 use mvtl_common::ops::{Op, Workload};
-use mvtl_common::{AbortReason, ProcessId, TransactionalKV, TxError, TxOutcome};
+use mvtl_common::{AbortReason, Engine, EngineExt, ProcessId, Transaction, TxError, TxOutcome};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -40,22 +48,24 @@ impl ReplayReport {
     }
 }
 
-/// Replays `workload` against `store` step by step in a single thread, exactly
+/// Replays `workload` against `engine` step by step in a single thread, exactly
 /// in the interleaving the workload specifies.
 ///
 /// Each workload transaction index is mapped to a distinct process id, and
 /// pinned timestamps (when present) are passed to the engine so that schedules
 /// like "T1 gets timestamp 1, T2 gets timestamp 2" can be reproduced exactly.
-/// A transaction whose operation fails (an engine-initiated abort) is dropped;
-/// subsequent operations of that transaction in the workload are skipped.
-pub fn replay<V, S>(store: &S, workload: &Workload, make_value: impl Fn(u64) -> V) -> ReplayReport
-where
-    S: TransactionalKV<V>,
-{
+/// A transaction whose operation fails (an engine-initiated abort) is dropped —
+/// the RAII guard releases its engine state — and its subsequent operations in
+/// the workload are skipped.
+pub fn replay<V>(
+    engine: &dyn Engine<V>,
+    workload: &Workload,
+    make_value: impl Fn(u64) -> V,
+) -> ReplayReport {
     let n = workload.transaction_count();
     let mut outcomes: Vec<Option<TxOutcome>> = vec![None; n];
     let mut history = History::new();
-    let mut live: HashMap<usize, S::Txn> = HashMap::new();
+    let mut live: HashMap<usize, Transaction<'_, V>> = HashMap::new();
 
     for step in &workload.steps {
         let idx = step.tx;
@@ -63,28 +73,26 @@ where
             // Transaction already finished (engine abort or explicit end).
             continue;
         }
-        if let std::collections::hash_map::Entry::Vacant(slot) = live.entry(idx) {
+        let txn = live.entry(idx).or_insert_with(|| {
             let pinned = workload.pinned_timestamp(idx);
-            slot.insert(store.begin_at(ProcessId(idx as u32 + 1), pinned));
-        }
+            Transaction::from_handle(engine.begin_handle(ProcessId(idx as u32 + 1), pinned))
+        });
         match &step.op {
             Op::Read(key) => {
-                let txn = live.get_mut(&idx).expect("live transaction");
-                if let Err(err) = store.read(txn, *key) {
-                    live.remove(&idx);
+                if let Err(err) = txn.read(*key) {
+                    live.remove(&idx); // drop aborts the guard
                     outcomes[idx] = Some(TxOutcome::Aborted(abort_reason(err)));
                 }
             }
             Op::Write(key, value) => {
-                let txn = live.get_mut(&idx).expect("live transaction");
-                if let Err(err) = store.write(txn, *key, make_value(*value)) {
+                if let Err(err) = txn.write(*key, make_value(*value)) {
                     live.remove(&idx);
                     outcomes[idx] = Some(TxOutcome::Aborted(abort_reason(err)));
                 }
             }
             Op::Commit => {
                 let txn = live.remove(&idx).expect("live transaction");
-                match store.commit(txn) {
+                match txn.commit() {
                     Ok(info) => {
                         history.record(info.clone());
                         outcomes[idx] = Some(TxOutcome::Committed(info));
@@ -96,15 +104,16 @@ where
             }
             Op::Abort => {
                 let txn = live.remove(&idx).expect("live transaction");
-                store.abort(txn);
+                txn.abort();
                 outcomes[idx] = Some(TxOutcome::Aborted(AbortReason::UserRequested));
             }
         }
     }
 
-    // Transactions left open at the end of the workload are aborted.
+    // Transactions left open at the end of the workload are aborted by
+    // dropping their guards.
     for (idx, txn) in live.drain() {
-        store.abort(txn);
+        drop(txn);
         outcomes[idx] = Some(TxOutcome::Aborted(AbortReason::UserRequested));
     }
 
@@ -118,23 +127,21 @@ where
 }
 
 /// Runs `transactions_per_thread` transactions from each of `threads` threads
-/// concurrently against `store`, where each transaction is produced by
-/// `body` (a closure receiving the thread index and iteration and performing
-/// the operations). Returns the committed history for serializability
+/// concurrently against `engine`, where each transaction is produced by
+/// `body` (a closure receiving the thread index, the iteration and the open
+/// [`Transaction`] guard). Returns the committed history for serializability
 /// checking.
 ///
 /// This is the harness used by the property tests: generate random transaction
 /// bodies, run them with real concurrency, and check the MVSG afterwards.
-pub fn replay_concurrent<V, S, F>(
-    store: &S,
+pub fn replay_concurrent<V, F>(
+    engine: &dyn Engine<V>,
     threads: usize,
     transactions_per_thread: usize,
     body: F,
 ) -> History
 where
-    V: Send,
-    S: TransactionalKV<V> + Sync,
-    F: Fn(usize, usize, &S, &mut S::Txn) -> Result<(), TxError> + Sync,
+    F: Fn(usize, usize, &mut Transaction<'_, V>) -> Result<(), TxError> + Sync,
 {
     let history = Mutex::new(History::new());
     std::thread::scope(|scope| {
@@ -143,17 +150,17 @@ where
             let body = &body;
             scope.spawn(move || {
                 for iter in 0..transactions_per_thread {
-                    let mut txn = store.begin(ProcessId(thread as u32 + 1));
-                    match body(thread, iter, store, &mut txn) {
+                    let mut txn = engine.begin(ProcessId(thread as u32 + 1));
+                    match body(thread, iter, &mut txn) {
                         Ok(()) => {
-                            if let Ok(info) = store.commit(txn) {
+                            if let Ok(info) = txn.commit() {
                                 history.lock().expect("history lock").record(info);
                             }
                         }
                         Err(_) => {
                             // The engine aborted the transaction inside an
-                            // operation; the handle must not be committed.
-                            store.abort(txn);
+                            // operation; dropping the guard cleans it up.
+                            drop(txn);
                         }
                     }
                 }
@@ -174,14 +181,11 @@ fn abort_reason(err: TxError) -> AbortReason {
 mod tests {
     use super::*;
     use crate::check_serializable;
-    use mvtl_baselines::MvtoStore;
-    use mvtl_clock::GlobalClock;
     use mvtl_common::{Key, Timestamp};
-    use std::sync::Arc;
 
     #[test]
     fn replay_runs_a_simple_workload() {
-        let store: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
+        let engine = mvtl_registry::build("mvto+").expect("registry spec");
         let mut w = Workload::new();
         w.push(0, Op::Write(Key(1), 5))
             .push(0, Op::Commit)
@@ -189,7 +193,7 @@ mod tests {
             .push(1, Op::Commit);
         w.pin_timestamp(0, Timestamp::at(10));
         w.pin_timestamp(1, Timestamp::at(20));
-        let report = replay(&store, &w, |v| v);
+        let report = replay(engine.as_ref(), &w, |v| v);
         assert_eq!(report.commits(), 2);
         assert_eq!(report.aborts(), 0);
         assert!(report.committed(0) && report.committed(1));
@@ -198,20 +202,20 @@ mod tests {
 
     #[test]
     fn unfinished_transactions_count_as_aborted() {
-        let store: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
+        let engine = mvtl_registry::build("mvto+").expect("registry spec");
         let mut w = Workload::new();
         w.push(0, Op::Read(Key(1)));
-        let report = replay(&store, &w, |v| v);
+        let report = replay(engine.as_ref(), &w, |v| v);
         assert_eq!(report.commits(), 0);
         assert_eq!(report.aborts(), 1);
     }
 
     #[test]
     fn explicit_abort_is_reported() {
-        let store: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
+        let engine = mvtl_registry::build("mvto+").expect("registry spec");
         let mut w = Workload::new();
         w.push(0, Op::Write(Key(1), 3)).push(0, Op::Abort);
-        let report = replay(&store, &w, |v| v);
+        let report = replay(engine.as_ref(), &w, |v| v);
         assert_eq!(report.aborts(), 1);
         assert!(report.history.is_empty());
     }

@@ -8,22 +8,16 @@
 //!    timestamp order.
 //! 2. **Concurrent executions** with real threads and randomized transaction
 //!    bodies: the committed history must again be serializable.
+//!
+//! All engines are built from `mvtl-registry` string specs and driven through
+//! the object-safe `dyn Engine` layer.
 
-use mvtl_baselines::{MvtoStore, TwoPhaseLockingStore};
-use mvtl_clock::GlobalClock;
 use mvtl_common::ops::{Op, Workload};
-use mvtl_common::{Key, TransactionalKV};
-use mvtl_core::policy::{
-    EpsilonPolicy, GhostbusterPolicy, LockingPolicy, MvtilPolicy, PessimisticPolicy, PrefPolicy,
-    PrioPolicy, ToPolicy,
-};
-use mvtl_core::{MvtlConfig, MvtlStore};
+use mvtl_common::{Engine, Key};
 use mvtl_verify::{check_serializable, replay, replay_concurrent};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::Arc;
-use std::time::Duration;
 
 const KEYS: u64 = 6;
 
@@ -63,20 +57,36 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
     })
 }
 
-fn mvtl<P: LockingPolicy>(policy: P) -> MvtlStore<u64, P> {
-    MvtlStore::new(
-        policy,
-        Arc::new(GlobalClock::starting_at(1000)),
-        MvtlConfig::default().with_lock_wait_timeout(Duration::from_millis(5)),
-    )
+/// The sequential-replay engine fleet: every MVTL policy plus the baselines,
+/// each with a short lock-wait timeout and a clock starting above the pinned
+/// timestamps, exactly like the paper's replay setup.
+fn sequential_specs() -> Vec<String> {
+    mvtl_registry::all_specs()
+        .into_iter()
+        .map(|spec| {
+            let params = match spec {
+                "mvtil-early" | "mvtil-late" => "delta=25&clock_start=1000&timeout_ms=5",
+                "mvtl-pref" => "offset=-5&clock_start=1000&timeout_ms=5",
+                "mvtl-epsilon-clock" => "eps=7&clock_start=1000&timeout_ms=5",
+                "2pl" => "timeout_ms=5",
+                "mvto+" => "clock_start=1000",
+                _ => "clock_start=1000&timeout_ms=5",
+            };
+            format!("{spec}?{params}")
+        })
+        .collect()
 }
 
-fn assert_serializable<S: TransactionalKV<u64>>(store: &S, workload: &Workload) {
-    let report = replay(store, workload, |v| v);
+fn build(spec: &str) -> Box<dyn Engine<u64>> {
+    mvtl_registry::build(spec).unwrap_or_else(|e| panic!("spec {spec:?} must build: {e}"))
+}
+
+fn assert_serializable(engine: &dyn Engine<u64>, workload: &Workload) {
+    let report = replay(engine, workload, |v| v);
     if let Err(violation) = check_serializable(&report.history) {
         panic!(
             "{} produced a non-serializable history on workload:\n{}\n{violation}",
-            store.name(),
+            engine.name(),
             workload.render()
         );
     }
@@ -87,28 +97,22 @@ proptest! {
 
     #[test]
     fn all_engines_serializable_on_random_workloads(workload in arb_workload()) {
-        assert_serializable(&mvtl(ToPolicy::new()), &workload);
-        assert_serializable(&mvtl(GhostbusterPolicy::new()), &workload);
-        assert_serializable(&mvtl(EpsilonPolicy::new(7)), &workload);
-        assert_serializable(&mvtl(PrefPolicy::with_offsets(vec![-5])), &workload);
-        assert_serializable(&mvtl(PrioPolicy::new()), &workload);
-        assert_serializable(&mvtl(MvtilPolicy::early(25)), &workload);
-        assert_serializable(&mvtl(MvtilPolicy::late(25)), &workload);
-        assert_serializable(&MvtoStore::<u64>::new(Arc::new(GlobalClock::starting_at(1000))), &workload);
-        assert_serializable(
-            &TwoPhaseLockingStore::<u64>::new(
-                Arc::new(GlobalClock::new()),
-                Duration::from_millis(5),
-            ),
-            &workload,
-        );
+        for spec in sequential_specs() {
+            if spec.starts_with("mvtl-pessimistic") {
+                continue; // gets its own (smaller) case budget below
+            }
+            assert_serializable(build(&spec).as_ref(), &workload);
+        }
     }
 
     #[test]
     fn pessimistic_engine_serializable_on_random_workloads(workload in arb_workload()) {
         // Pessimistic blocks more, so it gets its own (smaller) case budget by
         // virtue of living in a separate test.
-        assert_serializable(&mvtl(PessimisticPolicy::new()), &workload);
+        assert_serializable(
+            build("mvtl-pessimistic?clock_start=1000&timeout_ms=5").as_ref(),
+            &workload,
+        );
     }
 
     #[test]
@@ -134,10 +138,10 @@ proptest! {
             w.pin_timestamp(tx, mvtl_common::Timestamp::at(10 + rng.gen_range(0u64..1000) * 2 + tx as u64 % 2));
         }
 
-        let to_store = mvtl(ToPolicy::new());
-        let mvto_store: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::starting_at(5000)));
-        let to_report = replay(&to_store, &w, |v| v);
-        let mvto_report = replay(&mvto_store, &w, |v| v);
+        let to_engine = build("mvtl-to?clock_start=1000&timeout_ms=5");
+        let mvto_engine = build("mvto+?clock_start=5000");
+        let to_report = replay(to_engine.as_ref(), &w, |v| v);
+        let mvto_report = replay(mvto_engine.as_ref(), &w, |v| v);
 
         let to_commits: Vec<bool> = (0..txs).map(|i| to_report.committed(i)).collect();
         let mvto_commits: Vec<bool> = (0..txs).map(|i| mvto_report.committed(i)).collect();
@@ -151,65 +155,60 @@ proptest! {
 
 #[test]
 fn concurrent_random_transactions_are_serializable_under_every_mvtl_policy() {
-    fn run_policy<P: LockingPolicy>(policy: P) {
-        let store = MvtlStore::<u64, P>::new(
-            policy,
-            Arc::new(GlobalClock::new()),
-            MvtlConfig::default().with_lock_wait_timeout(Duration::from_millis(5)),
-        );
-        let history = replay_concurrent(&store, 4, 60, |thread, iter, store, txn| {
+    for spec in [
+        "mvtl-to?timeout_ms=5",
+        "mvtl-ghostbuster?timeout_ms=5",
+        "mvtl-epsilon-clock?eps=20&timeout_ms=5",
+        "mvtil-early?delta=5000&timeout_ms=5",
+        "mvtil-late?delta=5000&timeout_ms=5",
+        "mvtl-pref?timeout_ms=5",
+    ] {
+        let engine = build(spec);
+        let history = replay_concurrent(engine.as_ref(), 4, 60, |thread, iter, txn| {
             let mut rng = StdRng::seed_from_u64((thread * 1_000 + iter) as u64);
             for _ in 0..rng.gen_range(2..6usize) {
                 let key = Key(rng.gen_range(0..KEYS));
                 if rng.gen_bool(0.5) {
-                    store.read(txn, key)?;
+                    txn.read(key)?;
                 } else {
-                    store.write(txn, key, rng.gen_range(0..1_000))?;
+                    txn.write(key, rng.gen_range(0..1_000))?;
                 }
             }
             Ok(())
         });
-        assert!(!history.is_empty(), "some transactions must commit");
+        assert!(!history.is_empty(), "{spec}: some transactions must commit");
         if let Err(violation) = check_serializable(&history) {
-            panic!("non-serializable concurrent history: {violation}");
+            panic!("{spec}: non-serializable concurrent history: {violation}");
         }
     }
-
-    run_policy(ToPolicy::new());
-    run_policy(GhostbusterPolicy::new());
-    run_policy(EpsilonPolicy::new(20));
-    run_policy(MvtilPolicy::early(5_000));
-    run_policy(MvtilPolicy::late(5_000));
-    run_policy(PrefPolicy::new());
 }
 
 #[test]
 fn concurrent_random_transactions_are_serializable_under_the_baselines() {
-    let mvto: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
-    let history = replay_concurrent(&mvto, 4, 80, |thread, iter, store, txn| {
+    let mvto = build("mvto+");
+    let history = replay_concurrent(mvto.as_ref(), 4, 80, |thread, iter, txn| {
         let mut rng = StdRng::seed_from_u64((thread * 7_777 + iter) as u64);
         for _ in 0..rng.gen_range(2..6usize) {
             let key = Key(rng.gen_range(0..KEYS));
             if rng.gen_bool(0.5) {
-                store.read(txn, key)?;
+                txn.read(key)?;
             } else {
-                store.write(txn, key, rng.gen_range(0..1_000))?;
+                txn.write(key, rng.gen_range(0..1_000))?;
             }
         }
         Ok(())
     });
     check_serializable(&history).expect("MVTO+ must be serializable");
 
-    let tpl: TwoPhaseLockingStore<u64> =
-        TwoPhaseLockingStore::new(Arc::new(GlobalClock::new()), Duration::from_millis(5));
-    let history = replay_concurrent(&tpl, 4, 80, |thread, iter, store, txn| {
+    let tpl = build("2pl?timeout_ms=5");
+    let history = replay_concurrent(tpl.as_ref(), 4, 80, |thread, iter, txn| {
         let mut rng = StdRng::seed_from_u64((thread * 31 + iter) as u64);
         for _ in 0..rng.gen_range(2..6usize) {
             let key = Key(rng.gen_range(0..KEYS));
             if rng.gen_bool(0.5) {
-                store.read(txn, key)?;
+                txn.read(key)?;
             } else {
-                store.write(txn, key, rng.gen_range(0..1_000))?;
+                txn.write(key, rng.gen_range(0..1_000))?;
             }
         }
         Ok(())

@@ -1,35 +1,35 @@
 //! Executable versions of the paper's theorems, replayed through the shared
 //! workload machinery so that every engine sees the identical schedule.
+//!
+//! Engines are built from `mvtl-registry` string specs and driven through the
+//! object-safe `dyn Engine` layer — no per-engine generic plumbing.
 
-use mvtl_baselines::{MvtoStore, TwoPhaseLockingStore};
-use mvtl_clock::GlobalClock;
-use mvtl_common::TransactionalKV;
-use mvtl_core::policy::{
-    EpsilonPolicy, GhostbusterPolicy, LockingPolicy, MvtilPolicy, PessimisticPolicy, PrefPolicy,
-    ToPolicy,
-};
-use mvtl_core::{MvtlConfig, MvtlStore};
+use mvtl_common::Engine;
 use mvtl_verify::schedules::{
     ghost_abort_schedule, serial_abort_schedule, serial_counter_workload, theorem2_workload,
     update_concurrency_schedule, GHOST_ABORT_MIDDLE, GHOST_ABORT_VICTIM, SERIAL_ABORT_VICTIM,
     THEOREM2_VICTIM,
 };
 use mvtl_verify::{check_serializable, replay, ReplayReport};
-use std::sync::Arc;
-use std::time::Duration;
 
-fn mvtl_store<P: LockingPolicy>(policy: P) -> MvtlStore<u64, P> {
-    MvtlStore::new(
-        policy,
-        Arc::new(GlobalClock::new()),
-        MvtlConfig::default().with_lock_wait_timeout(Duration::from_millis(20)),
-    )
+/// Builds a registry engine with the short lock-wait timeout the schedule
+/// replays use (for 2PL the parameter doubles as the deadlock timeout).
+fn engine(spec: &str) -> Box<dyn Engine<u64>> {
+    // MVTO+ has no lock waits, hence no timeout knob.
+    let spec = if spec.starts_with("mvto+") {
+        spec.to_string()
+    } else if spec.contains('?') {
+        format!("{spec}&timeout_ms=20")
+    } else {
+        format!("{spec}?timeout_ms=20")
+    };
+    mvtl_registry::build(&spec).unwrap_or_else(|e| panic!("spec {spec:?} must build: {e}"))
 }
 
-fn run<S: TransactionalKV<u64>>(store: &S, workload: &mvtl_common::ops::Workload) -> ReplayReport {
-    let report = replay(store, workload, |v| v);
+fn run(engine: &dyn Engine<u64>, workload: &mvtl_common::ops::Workload) -> ReplayReport {
+    let report = replay(engine, workload, |v| v);
     check_serializable(&report.history)
-        .unwrap_or_else(|e| panic!("{} produced a non-serializable history: {e}", store.name()));
+        .unwrap_or_else(|e| panic!("{} produced a non-serializable history: {e}", engine.name()));
     report
 }
 
@@ -39,21 +39,18 @@ fn run<S: TransactionalKV<u64>>(store: &S, workload: &mvtl_common::ops::Workload
 fn serial_abort_happens_under_mvto_and_mvtl_to_but_not_epsilon_clock() {
     let schedule = serial_abort_schedule();
 
-    let mvto: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
     assert!(
-        !run(&mvto, &schedule).committed(SERIAL_ABORT_VICTIM),
+        !run(engine("mvto+").as_ref(), &schedule).committed(SERIAL_ABORT_VICTIM),
         "MVTO+ must abort the small-timestamp writer"
     );
 
-    let to = mvtl_store(ToPolicy::new());
     assert!(
-        !run(&to, &schedule).committed(SERIAL_ABORT_VICTIM),
+        !run(engine("mvtl-to").as_ref(), &schedule).committed(SERIAL_ABORT_VICTIM),
         "MVTL-TO must behave like MVTO+ here"
     );
 
     // ε = 5 covers the 1-tick "skew" encoded in the pinned timestamps.
-    let eps = mvtl_store(EpsilonPolicy::new(5));
-    let report = run(&eps, &schedule);
+    let report = run(engine("mvtl-epsilon-clock?eps=5").as_ref(), &schedule);
     assert!(
         report.committed(SERIAL_ABORT_VICTIM),
         "MVTL-ε-clock must not abort in a serial execution (Theorem 4)"
@@ -63,9 +60,8 @@ fn serial_abort_happens_under_mvto_and_mvtl_to_but_not_epsilon_clock() {
 
 #[test]
 fn epsilon_clock_commits_long_serial_histories() {
-    let eps = mvtl_store(EpsilonPolicy::new(16));
     let schedule = serial_counter_workload(30);
-    let report = run(&eps, &schedule);
+    let report = run(engine("mvtl-epsilon-clock?eps=16").as_ref(), &schedule);
     assert_eq!(report.commits(), 30, "no serial aborts allowed");
 }
 
@@ -75,23 +71,20 @@ fn epsilon_clock_commits_long_serial_histories() {
 fn ghost_abort_happens_under_mvto_but_not_ghostbuster() {
     let schedule = ghost_abort_schedule();
 
-    let mvto: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
-    let report = run(&mvto, &schedule);
+    let report = run(engine("mvto+").as_ref(), &schedule);
     assert!(!report.committed(GHOST_ABORT_MIDDLE), "T2 must abort");
     assert!(
         !report.committed(GHOST_ABORT_VICTIM),
         "MVTO+ must exhibit the ghost abort of T1"
     );
 
-    let to = mvtl_store(ToPolicy::new());
-    let report = run(&to, &schedule);
+    let report = run(engine("mvtl-to").as_ref(), &schedule);
     assert!(
         !report.committed(GHOST_ABORT_VICTIM),
         "MVTL-TO emulates MVTO+ and also ghost-aborts T1"
     );
 
-    let gb = mvtl_store(GhostbusterPolicy::new());
-    let report = run(&gb, &schedule);
+    let report = run(engine("mvtl-ghostbuster").as_ref(), &schedule);
     assert!(!report.committed(GHOST_ABORT_MIDDLE), "T2 still aborts");
     assert!(
         report.committed(GHOST_ABORT_VICTIM),
@@ -105,15 +98,13 @@ fn ghost_abort_happens_under_mvto_but_not_ghostbuster() {
 fn pref_commits_strictly_more_than_mvto() {
     let schedule = theorem2_workload();
 
-    let mvto: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
     assert!(
-        !run(&mvto, &schedule).committed(THEOREM2_VICTIM),
+        !run(engine("mvto+").as_ref(), &schedule).committed(THEOREM2_VICTIM),
         "MVTO+ must abort T2 on the Theorem 2 workload"
     );
 
     // Alternatives must lie below t1 = 5: A(t) = {t - 28} gives 2 for T2.
-    let pref = mvtl_store(PrefPolicy::with_offsets(vec![-28]));
-    let report = run(&pref, &schedule);
+    let report = run(engine("mvtl-pref?offset=-28").as_ref(), &schedule);
     assert!(
         report.committed(THEOREM2_VICTIM),
         "MVTL-Pref must commit T2 via its alternative timestamp"
@@ -126,12 +117,10 @@ fn pref_does_not_abort_workloads_that_mvto_commits() {
     // Theorem 2(a) spot-check: a workload MVTO+ commits entirely is also
     // committed entirely by MVTL-Pref (alternatives smaller than preferential).
     let schedule = update_concurrency_schedule();
-    let mvto: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
-    let mvto_report = run(&mvto, &schedule);
+    let mvto_report = run(engine("mvto+").as_ref(), &schedule);
     assert_eq!(mvto_report.commits(), 2);
 
-    let pref = mvtl_store(PrefPolicy::with_offsets(vec![-3]));
-    let pref_report = run(&pref, &schedule);
+    let pref_report = run(engine("mvtl-pref?offset=-3").as_ref(), &schedule);
     assert_eq!(pref_report.commits(), 2);
 }
 
@@ -141,19 +130,13 @@ fn pref_does_not_abort_workloads_that_mvto_commits() {
 fn full_multiversion_schemes_commit_concurrent_updates() {
     let schedule = update_concurrency_schedule();
     // All multiversion engines commit both transactions.
-    assert_eq!(run(&mvtl_store(ToPolicy::new()), &schedule).commits(), 2);
-    assert_eq!(
-        run(&mvtl_store(MvtilPolicy::early(1_000)), &schedule).commits(),
-        2
-    );
-    assert_eq!(
-        run(
-            &MvtoStore::<u64>::new(Arc::new(GlobalClock::new())),
-            &schedule
-        )
-        .commits(),
-        2
-    );
+    for spec in ["mvtl-to", "mvtil-early?delta=1000", "mvto+"] {
+        assert_eq!(
+            run(engine(spec).as_ref(), &schedule).commits(),
+            2,
+            "{spec} must commit both concurrent updates"
+        );
+    }
 }
 
 // ------------------------------------------------------ cross-engine sanity
@@ -167,24 +150,15 @@ fn every_engine_produces_serializable_histories_on_the_paper_schedules() {
         update_concurrency_schedule(),
         serial_counter_workload(10),
     ];
-    for schedule in &schedules {
-        run(&mvtl_store(ToPolicy::new()), schedule);
-        run(&mvtl_store(GhostbusterPolicy::new()), schedule);
-        run(&mvtl_store(EpsilonPolicy::new(8)), schedule);
-        run(&mvtl_store(PrefPolicy::new()), schedule);
-        run(&mvtl_store(PessimisticPolicy::new()), schedule);
-        run(&mvtl_store(MvtilPolicy::early(100)), schedule);
-        run(&mvtl_store(MvtilPolicy::late(100)), schedule);
-        run(
-            &MvtoStore::<u64>::new(Arc::new(GlobalClock::new())),
-            schedule,
-        );
-        run(
-            &TwoPhaseLockingStore::<u64>::new(
-                Arc::new(GlobalClock::new()),
-                Duration::from_millis(10),
-            ),
-            schedule,
-        );
+    // Every registered engine, straight from the registry enumeration: a new
+    // engine is enrolled into this theorem sanity check automatically.
+    for spec in mvtl_registry::all_specs() {
+        let tuned = match spec {
+            "mvtil-early" | "mvtil-late" => format!("{spec}?delta=100"),
+            other => other.to_string(),
+        };
+        for schedule in &schedules {
+            run(engine(&tuned).as_ref(), schedule);
+        }
     }
 }

@@ -7,7 +7,10 @@
 //! tables; `EXPERIMENTS.md` records representative output next to the paper's
 //! reported shapes.
 
+use crate::runner::{run_closed_loop, RunnerOptions};
+use crate::spec::WorkloadSpec;
 use mvtl_sim::{Protocol, SimConfig, Simulation};
+use std::time::Duration;
 
 /// How big an experiment to run.
 ///
@@ -380,6 +383,83 @@ pub fn fig7_gc_over_time(scale: Scale) -> FigureTable {
     }
 }
 
+/// Registry sweep: every engine the string-spec registry knows, driven through
+/// the threaded closed-loop runner via the object-safe `dyn Engine` layer.
+///
+/// This is the local-test-bed companion to the simulator figures: because the
+/// engine list comes from [`mvtl_registry::all_specs`], wiring a new engine
+/// into the registry automatically enrolls it here (and in the `fig1 --smoke`
+/// CI step, which fails if any engine stops committing).
+#[must_use]
+pub fn engine_grid(scale: Scale) -> FigureTable {
+    let (clients_list, duration_ms): (&[usize], u64) = match scale {
+        Scale::Smoke => (&[4], 80),
+        Scale::Quick => (&[4, 8], 200),
+        Scale::Paper => (&[4, 8, 16, 32], 1_000),
+    };
+    let mut rows = Vec::new();
+    for &clients in clients_list {
+        for spec in mvtl_registry::all_specs() {
+            let engine = mvtl_registry::build(spec)
+                .unwrap_or_else(|e| panic!("registry spec {spec:?} must build: {e}"));
+            let metrics = run_closed_loop(
+                engine.as_ref(),
+                &RunnerOptions {
+                    clients,
+                    duration: Duration::from_millis(duration_ms),
+                    spec: WorkloadSpec::new(8, 0.25, 512),
+                    seed: 42,
+                },
+                |v| v,
+            );
+            rows.push(FigureRow {
+                x_label: "clients",
+                x: clients as f64,
+                protocol: engine.name(),
+                throughput_tps: metrics.throughput_tps(),
+                commit_rate: metrics.commit_rate(),
+                locks: None,
+                versions: None,
+            });
+        }
+    }
+    FigureTable {
+        id: "engine-grid",
+        title: "Registry sweep: threaded engines in a closed loop".to_string(),
+        rows,
+    }
+}
+
+/// Verifies that an [`engine_grid`] table covers every registered engine and
+/// that each of them committed transactions — the single implementation of
+/// the engine-wiring invariant shared by the `fig1 --smoke` CI gate and the
+/// test suites.
+///
+/// # Panics
+///
+/// Panics when an engine is missing from the grid, never committed, or shows
+/// zero throughput: an engine that fails to build from its registry spec, or
+/// builds but can no longer commit, aborts the caller instead of silently
+/// dropping out of the sweep.
+pub fn check_engine_grid(grid: &FigureTable) {
+    for spec in mvtl_registry::all_specs() {
+        let base = spec.split('?').next().unwrap_or(spec);
+        let series = grid.series(base);
+        assert!(
+            !series.is_empty(),
+            "engine {base:?} missing from the registry grid"
+        );
+        for row in series {
+            assert!(
+                row.commit_rate > 0.0 && row.throughput_tps > 0.0,
+                "engine {base:?} stopped committing (commit rate {}, {} tps)",
+                row.commit_rate,
+                row.throughput_tps
+            );
+        }
+    }
+}
+
 /// Ablation: MVTIL-early vs MVTIL-late commit-timestamp choice under growing
 /// contention (design choice called out in `DESIGN.md`).
 #[must_use]
@@ -499,6 +579,11 @@ mod tests {
             last_with_gc <= last_no_gc,
             "GC must not increase stored versions ({last_with_gc} vs {last_no_gc})"
         );
+    }
+
+    #[test]
+    fn engine_grid_covers_every_registry_spec() {
+        check_engine_grid(&engine_grid(Scale::Smoke));
     }
 
     #[test]

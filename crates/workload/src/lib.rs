@@ -9,13 +9,15 @@
 //!   per transaction, write fraction, key-space size) and a generator that
 //!   turns them into transaction bodies.
 //! * [`runner`] — a multi-threaded closed-loop runner that drives any
-//!   [`TransactionalKV`](mvtl_common::TransactionalKV) engine (the centralized
-//!   MVTL policies and the baselines) and reports throughput / commit rate.
-//!   This is the harness used by the Criterion micro-benchmarks.
+//!   `dyn` [`Engine`](mvtl_common::Engine) (the centralized MVTL policies and
+//!   the baselines, usually built from a `mvtl-registry` string spec) and
+//!   reports throughput / commit rate. This is the harness used by the
+//!   Criterion micro-benchmarks.
 //! * [`figures`] — one function per figure of the paper (Figures 1–7) plus the
-//!   ablations called out in `DESIGN.md`, all built on the distributed
-//!   simulator ([`mvtl_sim`]). Each returns structured rows and can render the
-//!   same table the corresponding binary in `mvtl-bench` prints.
+//!   ablations called out in `DESIGN.md`, built on the distributed simulator
+//!   ([`mvtl_sim`]), and [`figures::engine_grid`], the registry-driven sweep
+//!   over every centralized engine. Each returns structured rows and can
+//!   render the same table the corresponding binary in `mvtl-bench` prints.
 //!
 //! Every figure function takes a [`figures::Scale`]: `Quick` keeps runs small
 //! enough for CI and benchmarks, `Paper` uses parameter ranges matching the

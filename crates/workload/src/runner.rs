@@ -1,13 +1,14 @@
 //! A multi-threaded closed-loop runner for the centralized engines.
 //!
 //! The paper's clients "submit transactions repeatedly in a closed-loop"
-//! (§8.3); this runner does the same against any
-//! [`TransactionalKV`] engine, with one thread
-//! per client. It is the harness behind the Criterion micro-benchmarks and the
-//! in-process examples (the distributed experiments use `mvtl-sim` instead).
+//! (§8.3); this runner does the same against any `dyn`
+//! [`Engine`] — every engine in the workspace, usually obtained from the
+//! `mvtl-registry` string-spec factory — with one thread per client. It is the
+//! harness behind the Criterion micro-benchmarks and the in-process examples
+//! (the distributed experiments use `mvtl-sim` instead).
 
 use crate::spec::WorkloadSpec;
-use mvtl_common::{ProcessId, TransactionalKV, TxError};
+use mvtl_common::{Engine, EngineExt, ProcessId, TxError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -71,17 +72,18 @@ impl RunnerMetrics {
     }
 }
 
-/// Runs `options.clients` threads against `store`, each executing randomly
+/// Runs `options.clients` threads against `engine`, each executing randomly
 /// generated read/write transactions in a closed loop for the configured
 /// duration, and returns the aggregate metrics.
-pub fn run_closed_loop<V, S>(
-    store: &S,
+///
+/// The engine is consumed through the object-safe [`Engine`] layer, so one
+/// monomorphization serves every protocol; failed attempts abort via the RAII
+/// [`Transaction`](mvtl_common::Transaction) guard.
+pub fn run_closed_loop<V>(
+    engine: &dyn Engine<V>,
     options: &RunnerOptions,
     make_value: impl Fn(u64) -> V + Sync,
-) -> RunnerMetrics
-where
-    S: TransactionalKV<V> + Sync,
-{
+) -> RunnerMetrics {
     let committed = AtomicU64::new(0);
     let aborted = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
@@ -101,20 +103,20 @@ where
                 let mut counter = 0u64;
                 while !stop.load(Ordering::Relaxed) {
                     let template = spec.generate(&mut rng);
-                    let mut txn = store.begin(process);
+                    let mut txn = engine.begin(process);
                     let result = (|| -> Result<(), TxError> {
                         for (key, write) in &template.ops {
                             if *write {
                                 counter += 1;
-                                store.write(&mut txn, *key, make_value(counter))?;
+                                txn.write(*key, make_value(counter))?;
                             } else {
-                                store.read(&mut txn, *key)?;
+                                txn.read(*key)?;
                             }
                         }
                         Ok(())
                     })();
                     match result {
-                        Ok(()) => match store.commit(txn) {
+                        Ok(()) => match txn.commit() {
                             Ok(_) => {
                                 committed.fetch_add(1, Ordering::Relaxed);
                             }
@@ -123,7 +125,8 @@ where
                             }
                         },
                         Err(_) => {
-                            store.abort(txn);
+                            // Dropping the guard aborts the attempt (RAII).
+                            drop(txn);
                             aborted.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -149,11 +152,6 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mvtl_baselines::{MvtoStore, TwoPhaseLockingStore};
-    use mvtl_clock::GlobalClock;
-    use mvtl_core::policy::MvtilPolicy;
-    use mvtl_core::{MvtlConfig, MvtlStore};
-    use std::sync::Arc;
 
     fn options() -> RunnerOptions {
         RunnerOptions {
@@ -166,12 +164,8 @@ mod tests {
 
     #[test]
     fn runs_against_an_mvtl_engine() {
-        let store: MvtlStore<u64, _> = MvtlStore::new(
-            MvtilPolicy::early(100_000),
-            Arc::new(GlobalClock::new()),
-            MvtlConfig::default(),
-        );
-        let metrics = run_closed_loop(&store, &options(), |v| v);
+        let engine = mvtl_registry::build("mvtil-early").expect("registry spec");
+        let metrics = run_closed_loop(engine.as_ref(), &options(), |v| v);
         assert!(metrics.committed > 0);
         assert!(metrics.throughput_tps() > 0.0);
         assert!(metrics.commit_rate() > 0.5);
@@ -179,14 +173,11 @@ mod tests {
 
     #[test]
     fn runs_against_the_baselines() {
-        let mvto: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
-        let metrics = run_closed_loop(&mvto, &options(), |v| v);
-        assert!(metrics.committed > 0);
-
-        let tpl: TwoPhaseLockingStore<u64> =
-            TwoPhaseLockingStore::new(Arc::new(GlobalClock::new()), Duration::from_millis(5));
-        let metrics = run_closed_loop(&tpl, &options(), |v| v);
-        assert!(metrics.committed > 0);
+        for spec in ["mvto+", "2pl?timeout_ms=5"] {
+            let engine = mvtl_registry::build(spec).expect("registry spec");
+            let metrics = run_closed_loop(engine.as_ref(), &options(), |v| v);
+            assert!(metrics.committed > 0, "{spec}");
+        }
     }
 
     #[test]

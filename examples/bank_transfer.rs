@@ -1,71 +1,74 @@
-//! A contended bank-transfer workload run against three different engines
-//! (MVTIL, MVTO+, 2PL), checking the balance invariant and comparing commit
-//! rates — the §8 comparison in miniature, using the real threaded engines.
+//! A contended bank-transfer workload run against every engine the registry
+//! knows, checking the balance invariant and comparing how hard each engine
+//! has to retry under contention — the §8 comparison in miniature, using the
+//! real threaded engines.
+//!
+//! The whole comparison is one loop over `mvtl::registry::all_specs()`: each
+//! engine is built from its string spec, driven through `dyn Engine`, and the
+//! per-transfer retry loop (`EngineExt::run`) records how many attempts each
+//! transfer needed.
 //!
 //! ```bash
 //! cargo run --release --example bank_transfer
 //! ```
 
-use mvtl::baselines::{MvtoStore, TwoPhaseLockingStore};
-use mvtl::clock::GlobalClock;
-use mvtl::common::{Key, ProcessId, TransactionalKV, TxError};
-use mvtl::core::policy::MvtilPolicy;
-use mvtl::core::{MvtlConfig, MvtlStore};
+use mvtl::common::{Engine, EngineExt, Key, ProcessId, RetryOptions};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
 
 const ACCOUNTS: u64 = 32;
 const INITIAL_BALANCE: u64 = 1_000;
 const THREADS: usize = 4;
 const TRANSFERS_PER_THREAD: usize = 400;
 
-fn run_workload<S: TransactionalKV<u64> + Sync>(store: &S) -> (u64, u64, u64) {
+/// Runs the transfer storm; returns (final total, transfers, attempts,
+/// transfers that exhausted the retry budget).
+fn run_workload(engine: &dyn Engine<u64>) -> (u64, u64, u64, u64) {
     // Seed the accounts.
-    let mut tx = store.begin(ProcessId(0));
+    let mut tx = engine.begin(ProcessId(0));
     for account in 0..ACCOUNTS {
-        store
-            .write(&mut tx, Key(account), INITIAL_BALANCE)
+        tx.write(Key(account), INITIAL_BALANCE)
             .expect("seeding must not conflict");
     }
-    store.commit(tx).expect("seeding commit");
+    tx.commit().expect("seeding commit");
 
-    let commits = AtomicU64::new(0);
-    let aborts = AtomicU64::new(0);
+    let transfers = AtomicU64::new(0);
+    let attempts = AtomicU64::new(0);
+    let exhausted = AtomicU64::new(0);
     std::thread::scope(|scope| {
         for worker in 0..THREADS {
-            let commits = &commits;
-            let aborts = &aborts;
+            let transfers = &transfers;
+            let attempts = &attempts;
+            let exhausted = &exhausted;
             scope.spawn(move || {
                 let process = ProcessId(worker as u32 + 1);
+                let options = RetryOptions::default().with_seed(worker as u64);
                 for i in 0..TRANSFERS_PER_THREAD {
                     let from = Key(((worker * 7 + i * 3) as u64) % ACCOUNTS);
                     let to = Key(((worker * 11 + i * 5 + 1) as u64) % ACCOUNTS);
                     if from == to {
                         continue;
                     }
-                    let mut tx = store.begin(process);
-                    let attempt = (|| -> Result<(), TxError> {
-                        let a = store.read(&mut tx, from)?.unwrap_or(0);
-                        let b = store.read(&mut tx, to)?.unwrap_or(0);
+                    // The retry loop re-runs aborted attempts with seeded
+                    // backoff; failed attempts abort via the RAII guard.
+                    match engine.run(process, &options, |tx| {
+                        let a = tx.read(from)?.unwrap_or(0);
+                        let b = tx.read(to)?.unwrap_or(0);
                         if a >= 10 {
-                            store.write(&mut tx, from, a - 10)?;
-                            store.write(&mut tx, to, b + 10)?;
+                            tx.write(from, a - 10)?;
+                            tx.write(to, b + 10)?;
                         }
                         Ok(())
-                    })();
-                    match attempt {
-                        Ok(()) => match store.commit(tx) {
-                            Ok(_) => {
-                                commits.fetch_add(1, Ordering::Relaxed);
-                            }
-                            Err(_) => {
-                                aborts.fetch_add(1, Ordering::Relaxed);
-                            }
-                        },
+                    }) {
+                        Ok(report) => {
+                            transfers.fetch_add(1, Ordering::Relaxed);
+                            attempts.fetch_add(u64::from(report.attempts), Ordering::Relaxed);
+                        }
                         Err(_) => {
-                            store.abort(tx);
-                            aborts.fetch_add(1, Ordering::Relaxed);
+                            // Transfer gave up after burning the full budget;
+                            // count those attempts too so avg-attempts is not
+                            // skewed in favor of engines that give up a lot.
+                            exhausted.fetch_add(1, Ordering::Relaxed);
+                            attempts.fetch_add(u64::from(options.max_attempts), Ordering::Relaxed);
                         }
                     }
                 }
@@ -74,23 +77,30 @@ fn run_workload<S: TransactionalKV<u64> + Sync>(store: &S) -> (u64, u64, u64) {
     });
 
     // Audit the final state.
-    let mut tx = store.begin(ProcessId(99));
+    let mut tx = engine.begin(ProcessId(99));
     let mut total = 0;
     for account in 0..ACCOUNTS {
-        total += store.read(&mut tx, Key(account)).unwrap().unwrap_or(0);
+        total += tx.read(Key(account)).unwrap().unwrap_or(0);
     }
-    store.commit(tx).unwrap();
-    (total, commits.into_inner(), aborts.into_inner())
+    tx.commit().unwrap();
+    (
+        total,
+        transfers.into_inner(),
+        attempts.into_inner(),
+        exhausted.into_inner(),
+    )
 }
 
-fn report(name: &str, total: u64, commits: u64, aborts: u64) {
+fn report(name: &str, total: u64, transfers: u64, attempts: u64, exhausted: u64) {
     assert_eq!(
         total,
         ACCOUNTS * INITIAL_BALANCE,
         "{name}: isolation violated, money appeared or vanished"
     );
-    let rate = commits as f64 / (commits + aborts).max(1) as f64;
-    println!("{name:<12} commits={commits:<6} aborts={aborts:<6} commit-rate={rate:.3}  (balance preserved)");
+    let avg_attempts = attempts as f64 / (transfers + exhausted).max(1) as f64;
+    println!(
+        "{name:<20} transfers={transfers:<6} gave-up={exhausted:<4} avg-attempts={avg_attempts:.2}  (balance preserved)"
+    );
 }
 
 fn main() {
@@ -98,20 +108,9 @@ fn main() {
         "transferring money between {ACCOUNTS} accounts from {THREADS} threads ({TRANSFERS_PER_THREAD} transfers each)\n"
     );
 
-    let mvtil: MvtlStore<u64, _> = MvtlStore::new(
-        MvtilPolicy::early(500_000),
-        Arc::new(GlobalClock::new()),
-        MvtlConfig::default(),
-    );
-    let (total, commits, aborts) = run_workload(&mvtil);
-    report("MVTIL-early", total, commits, aborts);
-
-    let mvto: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
-    let (total, commits, aborts) = run_workload(&mvto);
-    report("MVTO+", total, commits, aborts);
-
-    let tpl: TwoPhaseLockingStore<u64> =
-        TwoPhaseLockingStore::new(Arc::new(GlobalClock::new()), Duration::from_millis(5));
-    let (total, commits, aborts) = run_workload(&tpl);
-    report("2PL", total, commits, aborts);
+    for spec in mvtl::registry::all_specs() {
+        let engine = mvtl::registry::build(spec).expect("registry spec must build");
+        let (total, transfers, attempts, exhausted) = run_workload(engine.as_ref());
+        report(engine.name(), total, transfers, attempts, exhausted);
+    }
 }

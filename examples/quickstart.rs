@@ -1,29 +1,24 @@
-//! Quick start: create an MVTL store, run a few transactions, inspect state.
+//! Quick start: build an engine from a registry string spec, run a few
+//! transactions through the RAII `Transaction` guard and the `run` retry loop.
 //!
 //! ```bash
 //! cargo run --example quickstart
 //! ```
 
-use mvtl::clock::GlobalClock;
-use mvtl::common::{Key, ProcessId, TransactionalKV, TxError};
-use mvtl::core::policy::MvtilPolicy;
-use mvtl::core::{MvtlConfig, MvtlStore};
-use std::sync::Arc;
+use mvtl::common::{EngineExt, Key, ProcessId, RetryOptions};
 
-fn main() -> Result<(), TxError> {
-    // An MVTIL-early store (the variant evaluated in the paper's §8), storing
-    // string values, driven by a shared monotonic clock.
-    let store: MvtlStore<String, _> = MvtlStore::new(
-        MvtilPolicy::early(1_000),
-        Arc::new(GlobalClock::new()),
-        MvtlConfig::default(),
-    );
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Any engine in the workspace is one string away: MVTIL-early (the variant
+    // evaluated in the paper's §8) with interval width Δ = 1000, storing
+    // string values. Try "mvto+", "2pl?timeout_ms=10", "mvtl-ghostbuster", ...
+    let engine = mvtl::registry::build_for::<String>("mvtil-early?delta=1000")?;
+    println!("engine: {}", engine.name());
 
-    // Transaction 1: initialize two keys.
-    let mut tx = store.begin(ProcessId(0));
-    store.write(&mut tx, Key::from_name("user:1"), "alice".to_string())?;
-    store.write(&mut tx, Key::from_name("user:2"), "bob".to_string())?;
-    let info = store.commit(tx)?;
+    // Transaction 1: initialize two keys through the RAII guard.
+    let mut tx = engine.begin(ProcessId(0));
+    tx.write(Key::from_name("user:1"), "alice".to_string())?;
+    tx.write(Key::from_name("user:2"), "bob".to_string())?;
+    let info = tx.commit()?;
     println!(
         "initialized {} keys at timestamp {}",
         info.writes.len(),
@@ -31,27 +26,39 @@ fn main() -> Result<(), TxError> {
             .expect("multiversion engines report a commit timestamp"),
     );
 
-    // Transaction 2: read-modify-write.
-    let mut tx = store.begin(ProcessId(1));
-    let current = store.read(&mut tx, Key::from_name("user:1"))?;
-    println!("user:1 is currently {current:?}");
-    store.write(&mut tx, Key::from_name("user:1"), "alice v2".to_string())?;
-    store.commit(tx)?;
+    // Transaction 2: a read-modify-write through the retry loop. `run` retries
+    // aborted attempts with seeded backoff and reports the attempt count.
+    let report = engine.run(ProcessId(1), &RetryOptions::default(), |tx| {
+        let current = tx.read(Key::from_name("user:1"))?;
+        println!("user:1 is currently {current:?}");
+        tx.write(Key::from_name("user:1"), "alice v2".to_string())?;
+        Ok(())
+    })?;
+    println!(
+        "read-modify-write committed after {} attempt(s)",
+        report.attempts
+    );
 
     // Transaction 3: a read-only transaction sees the latest committed state.
-    let mut tx = store.begin(ProcessId(2));
-    let user1 = store.read(&mut tx, Key::from_name("user:1"))?;
-    let user2 = store.read(&mut tx, Key::from_name("user:2"))?;
-    store.commit(tx)?;
+    let mut tx = engine.begin(ProcessId(2));
+    let user1 = tx.read(Key::from_name("user:1"))?;
+    let user2 = tx.read(Key::from_name("user:2"))?;
+    tx.commit()?;
     println!("final state: user:1 = {user1:?}, user:2 = {user2:?}");
     assert_eq!(user1.as_deref(), Some("alice v2"));
     assert_eq!(user2.as_deref(), Some("bob"));
 
-    // The store keeps multiple versions; the state-size counters show it.
-    let stats = store.stats();
-    println!(
-        "store now holds {} versions and {} lock intervals across {} keys",
-        stats.versions, stats.lock_entries, stats.keys
+    // A transaction dropped without commit aborts automatically (RAII): the
+    // write below never becomes visible and its locks are released.
+    let mut tx = engine.begin(ProcessId(3));
+    tx.write(Key::from_name("user:1"), "eve".to_string())?;
+    drop(tx);
+    let mut tx = engine.begin(ProcessId(4));
+    assert_eq!(
+        tx.read(Key::from_name("user:1"))?.as_deref(),
+        Some("alice v2")
     );
+    tx.commit()?;
+    println!("dropped transaction left no trace");
     Ok(())
 }

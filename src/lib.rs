@@ -7,40 +7,40 @@
 //!
 //! | Module | Crate | Contents |
 //! |--------|-------|----------|
-//! | [`common`] | `mvtl-common` | timestamps, interval sets, ids, errors, the `TransactionalKV` trait |
+//! | [`common`] | `mvtl-common` | timestamps, interval sets, ids, errors, the `TransactionalKV` trait and the object-safe `Engine` layer |
 //! | [`locks`] | `mvtl-locks` | freezable interval lock tables (§4.2, §6) |
 //! | [`storage`] | `mvtl-storage` | multiversion value store with purging |
 //! | [`clock`] | `mvtl-clock` | clock sources and the timestamp service |
 //! | [`core`] | `mvtl-core` | the generic MVTL engine and every policy of §5 |
 //! | [`baselines`] | `mvtl-baselines` | MVTO+ and strict 2PL |
+//! | [`registry`] | `mvtl-registry` | string-spec engine factory (`"mvtil-early?delta=1000"` → `Box<dyn Engine>`) |
 //! | [`verify`] | `mvtl-verify` | MVSG serializability checking, canonical schedules |
 //! | [`sim`] | `mvtl-sim` | discrete-event simulation of the distributed system (§7, §8) |
 //! | [`workload`] | `mvtl-workload` | workload generators, runners, the figure harness |
 //!
 //! # Quick start
 //!
+//! Engines are built from registry string specs and driven through the
+//! object-safe [`Engine`](common::Engine) layer: the RAII
+//! [`Transaction`](common::Transaction) guard aborts on drop, and
+//! [`EngineExt::run`](common::EngineExt::run) retries aborted transactions
+//! with seeded backoff.
+//!
 //! ```
-//! use mvtl::clock::GlobalClock;
-//! use mvtl::common::{Key, ProcessId, TransactionalKV};
-//! use mvtl::core::{policy::MvtilPolicy, MvtlConfig, MvtlStore};
-//! use std::sync::Arc;
+//! use mvtl::common::{EngineExt, Key, ProcessId, RetryOptions};
 //!
-//! # fn main() -> Result<(), mvtl::common::TxError> {
-//! let store: MvtlStore<String, _> = MvtlStore::new(
-//!     MvtilPolicy::early(1_000),
-//!     Arc::new(GlobalClock::new()),
-//!     MvtlConfig::default(),
-//! );
-//! let mut tx = store.begin(ProcessId(0));
-//! store.write(&mut tx, Key::from_name("greeting"), "hello".to_string())?;
-//! store.commit(tx)?;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let engine = mvtl::registry::build_for::<String>("mvtil-early?delta=1000")?;
 //!
-//! let mut tx = store.begin(ProcessId(1));
-//! assert_eq!(
-//!     store.read(&mut tx, Key::from_name("greeting"))?,
-//!     Some("hello".to_string())
-//! );
-//! store.commit(tx)?;
+//! let mut tx = engine.begin(ProcessId(0));
+//! tx.write(Key::from_name("greeting"), "hello".to_string())?;
+//! tx.commit()?;
+//!
+//! let report = engine.run(ProcessId(1), &RetryOptions::default(), |tx| {
+//!     assert_eq!(tx.read(Key::from_name("greeting"))?, Some("hello".to_string()));
+//!     Ok(())
+//! })?;
+//! assert_eq!(report.attempts, 1);
 //! # Ok(())
 //! # }
 //! ```
@@ -53,6 +53,7 @@ pub use mvtl_clock as clock;
 pub use mvtl_common as common;
 pub use mvtl_core as core;
 pub use mvtl_locks as locks;
+pub use mvtl_registry as registry;
 pub use mvtl_sim as sim;
 pub use mvtl_storage as storage;
 pub use mvtl_verify as verify;

@@ -1,34 +1,23 @@
 //! Integration tests spanning the whole workspace through the `mvtl` facade:
-//! centralized engines, serializability checking, the distributed simulator and
-//! the figure harness working together.
+//! registry-built engines, serializability checking, the distributed simulator
+//! and the figure harness working together.
 
-use mvtl::baselines::MvtoStore;
-use mvtl::clock::GlobalClock;
-use mvtl::common::{Key, ProcessId, TransactionalKV, TxError};
-use mvtl::core::policy::{GhostbusterPolicy, MvtilPolicy};
-use mvtl::core::{MvtlConfig, MvtlStore};
+use mvtl::common::{EngineExt, Key, ProcessId, TxError};
 use mvtl::sim::{Protocol, SimConfig, Simulation};
 use mvtl::verify::{check_serializable, replay_concurrent};
 use mvtl::workload::{run_closed_loop, RunnerOptions, WorkloadSpec};
-use std::sync::Arc;
 use std::time::Duration;
 
 #[test]
 fn facade_quickstart_roundtrip() -> Result<(), TxError> {
-    let store: MvtlStore<String, _> = MvtlStore::new(
-        MvtilPolicy::early(1_000),
-        Arc::new(GlobalClock::new()),
-        MvtlConfig::default(),
-    );
-    let mut tx = store.begin(ProcessId(0));
-    store.write(&mut tx, Key::from_name("k"), "v".to_string())?;
-    store.commit(tx)?;
-    let mut tx = store.begin(ProcessId(1));
-    assert_eq!(
-        store.read(&mut tx, Key::from_name("k"))?,
-        Some("v".to_string())
-    );
-    store.commit(tx)?;
+    let engine =
+        mvtl::registry::build_for::<String>("mvtil-early?delta=1000").expect("registry spec");
+    let mut tx = engine.begin(ProcessId(0));
+    tx.write(Key::from_name("k"), "v".to_string())?;
+    tx.commit()?;
+    let mut tx = engine.begin(ProcessId(1));
+    assert_eq!(tx.read(Key::from_name("k"))?, Some("v".to_string()));
+    tx.commit()?;
     Ok(())
 }
 
@@ -37,31 +26,27 @@ fn closed_loop_runner_histories_are_serializable() {
     // Drive an MVTL engine and the MVTO+ baseline through the workload runner,
     // then independently re-execute randomized transactions through the
     // verifier's concurrent replay and check the MVSG.
-    let store: MvtlStore<u64, _> = MvtlStore::new(
-        GhostbusterPolicy::new(),
-        Arc::new(GlobalClock::new()),
-        MvtlConfig::default().with_lock_wait_timeout(Duration::from_millis(5)),
-    );
+    let engine = mvtl::registry::build("mvtl-ghostbuster?timeout_ms=5").expect("registry spec");
     let options = RunnerOptions {
         clients: 4,
         duration: Duration::from_millis(100),
         spec: WorkloadSpec::new(6, 0.4, 128),
         seed: 3,
     };
-    let metrics = run_closed_loop(&store, &options, |v| v);
+    let metrics = run_closed_loop(engine.as_ref(), &options, |v| v);
     assert!(metrics.committed > 0);
 
-    let history = replay_concurrent(&store, 4, 50, |thread, iter, store, txn| {
+    let history = replay_concurrent(engine.as_ref(), 4, 50, |thread, iter, txn| {
         let key = Key(((thread * 31 + iter * 7) % 64) as u64);
         let other = Key(((thread * 13 + iter * 3) % 64) as u64);
-        let v = store.read(txn, key)?.unwrap_or(0);
-        store.write(txn, other, v + 1)?;
+        let v = txn.read(key)?.unwrap_or(0);
+        txn.write(other, v + 1)?;
         Ok(())
     });
     check_serializable(&history).expect("facade-driven history must be serializable");
 
-    let mvto: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
-    let metrics = run_closed_loop(&mvto, &options, |v| v);
+    let mvto = mvtl::registry::build("mvto+").expect("registry spec");
+    let metrics = run_closed_loop(mvto.as_ref(), &options, |v| v);
     assert!(metrics.committed > 0);
 }
 

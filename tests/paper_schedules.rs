@@ -1,49 +1,41 @@
 //! Cross-crate checks of the paper's headline claims, driven through the
 //! facade: the schedules of §5 behave differently under the different engines,
-//! exactly as the paper states.
+//! exactly as the paper states. Every engine is built from a registry string
+//! spec and replayed through the `dyn Engine` layer.
 
-use mvtl::baselines::MvtoStore;
-use mvtl::clock::GlobalClock;
-use mvtl::core::policy::{EpsilonPolicy, GhostbusterPolicy, PrefPolicy, ToPolicy};
-use mvtl::core::{MvtlConfig, MvtlStore};
+use mvtl::common::Engine;
 use mvtl::verify::schedules::{
     ghost_abort_schedule, serial_abort_schedule, theorem2_workload, GHOST_ABORT_VICTIM,
     SERIAL_ABORT_VICTIM, THEOREM2_VICTIM,
 };
 use mvtl::verify::{check_serializable, replay};
-use std::sync::Arc;
-use std::time::Duration;
 
-fn mvtl_store<P: mvtl::core::policy::LockingPolicy>(policy: P) -> MvtlStore<u64, P> {
-    MvtlStore::new(
-        policy,
-        Arc::new(GlobalClock::new()),
-        MvtlConfig::default().with_lock_wait_timeout(Duration::from_millis(10)),
-    )
+fn engine(spec: &str) -> Box<dyn Engine<u64>> {
+    mvtl::registry::build(spec).unwrap_or_else(|e| panic!("spec {spec:?} must build: {e}"))
 }
 
 #[test]
 fn the_three_headline_schedules_match_the_paper() {
     // Serial aborts (§5.3): MVTO+ aborts, ε-clock does not.
     let schedule = serial_abort_schedule();
-    let mvto: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
-    assert!(!replay(&mvto, &schedule, |v| v).committed(SERIAL_ABORT_VICTIM));
-    let eps = mvtl_store(EpsilonPolicy::new(4));
-    assert!(replay(&eps, &schedule, |v| v).committed(SERIAL_ABORT_VICTIM));
+    let mvto = engine("mvto+");
+    assert!(!replay(mvto.as_ref(), &schedule, |v| v).committed(SERIAL_ABORT_VICTIM));
+    let eps = engine("mvtl-epsilon-clock?eps=4&timeout_ms=10");
+    assert!(replay(eps.as_ref(), &schedule, |v| v).committed(SERIAL_ABORT_VICTIM));
 
     // Ghost aborts (§5.5): MVTL-TO aborts, Ghostbuster does not.
     let schedule = ghost_abort_schedule();
-    let to = mvtl_store(ToPolicy::new());
-    assert!(!replay(&to, &schedule, |v| v).committed(GHOST_ABORT_VICTIM));
-    let gb = mvtl_store(GhostbusterPolicy::new());
-    assert!(replay(&gb, &schedule, |v| v).committed(GHOST_ABORT_VICTIM));
+    let to = engine("mvtl-to?timeout_ms=10");
+    assert!(!replay(to.as_ref(), &schedule, |v| v).committed(GHOST_ABORT_VICTIM));
+    let gb = engine("mvtl-ghostbuster?timeout_ms=10");
+    assert!(replay(gb.as_ref(), &schedule, |v| v).committed(GHOST_ABORT_VICTIM));
 
     // Theorem 2: MVTO+ aborts the victim, MVTL-Pref commits it.
     let schedule = theorem2_workload();
-    let mvto: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
-    assert!(!replay(&mvto, &schedule, |v| v).committed(THEOREM2_VICTIM));
-    let pref = mvtl_store(PrefPolicy::with_offsets(vec![-28]));
-    let report = replay(&pref, &schedule, |v| v);
+    let mvto = engine("mvto+");
+    assert!(!replay(mvto.as_ref(), &schedule, |v| v).committed(THEOREM2_VICTIM));
+    let pref = engine("mvtl-pref?offset=-28&timeout_ms=10");
+    let report = replay(pref.as_ref(), &schedule, |v| v);
     assert!(report.committed(THEOREM2_VICTIM));
     check_serializable(&report.history).unwrap();
 }
