@@ -1,18 +1,25 @@
 //! Regenerates Figure 1 (throughput and commit rate vs. number of clients,
 //! local test bed) of the paper, then runs the registry-driven engine grid:
-//! every engine `mvtl_registry::all_specs()` knows, built from its string spec
-//! and driven through `dyn Engine` in a threaded closed loop.
+//! every engine `mvtl_registry::all_specs()` knows — including the
+//! partitioned `sharded` engines — built from its string spec and driven
+//! through `dyn Engine` in a threaded closed loop, once with uniform keys and
+//! once under zipf(0.99) skew.
 //!
 //! Pass `--paper` for paper-scale sweeps, `--smoke` for the CI smoke run. The
 //! process exits non-zero if any registered engine fails to build or stops
-//! committing, so engine-wiring regressions fail CI rather than just compile.
+//! committing (on either key distribution), so engine-wiring regressions fail
+//! CI rather than just compile.
+
+use mvtl_workload::KeyDist;
 
 fn main() {
     let scale = mvtl_bench::scale_from_args(std::env::args().skip(1));
     let table = mvtl_workload::figures::fig1_concurrency_local(scale);
     println!("{}", table.render());
 
-    let grid = mvtl_workload::figures::engine_grid(scale);
-    println!("{}", grid.render());
-    mvtl_workload::figures::check_engine_grid(&grid);
+    for dist in [KeyDist::Uniform, KeyDist::Zipf { theta: 0.99 }] {
+        let grid = mvtl_workload::figures::engine_grid_with_skew(scale, dist);
+        println!("{}", grid.render());
+        mvtl_workload::figures::check_engine_grid(&grid);
+    }
 }

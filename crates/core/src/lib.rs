@@ -74,5 +74,5 @@ mod txn;
 
 pub use config::MvtlConfig;
 pub use policy::{LockingPolicy, PolicyCtx, ReadGrant};
-pub use store::{MvtlStore, StoreStats};
+pub use store::{MvtlStore, PreparedCommit, StoreStats};
 pub use txn::{MvtlTransaction, TxState};

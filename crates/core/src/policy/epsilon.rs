@@ -95,6 +95,12 @@ impl LockingPolicy for EpsilonPolicy {
         candidates.intersection(&tx.ts_set).min()
     }
 
+    fn prepared_interval(&self, tx: &TxState, candidates: &TsSet) -> TsSet {
+        // Freeze only what is left of tx.TS: committing outside the ε-window
+        // would void the real-time guarantee of Theorem 4.
+        candidates.intersection(&tx.ts_set)
+    }
+
     fn commit_gc(&self, _tx: &TxState) -> bool {
         true
     }

@@ -151,6 +151,25 @@ pub trait LockingPolicy: Send + Sync + 'static {
     /// `None`, or a timestamp outside `candidates`, aborts the transaction.
     fn commit_ts(&self, tx: &TxState, candidates: &TsSet) -> Option<Timestamp>;
 
+    /// The interval a participant *freezes* and reports to a cross-shard
+    /// commit coordinator (§7): the subset of the lock-derived candidates `T`
+    /// this policy is willing to commit at when it does not get to pick the
+    /// timestamp itself.
+    ///
+    /// Every timestamp in `candidates` is covered by locks the transaction
+    /// holds, so any subset is *safe*; the choice is about policy fidelity,
+    /// not correctness. The default reports the full candidate set, which
+    /// maximizes the chance that the coordinator finds a non-empty
+    /// intersection across shards. Policies whose single-store pick is
+    /// constrained to a window they maintain during execution (MVTIL's
+    /// interval `I`, ε-clock's `tx.TS`) override this to narrow to that
+    /// window, so a coordinator never serializes them outside their own
+    /// discipline.
+    fn prepared_interval(&self, tx: &TxState, candidates: &TsSet) -> TsSet {
+        let _ = tx;
+        candidates.clone()
+    }
+
     /// `commit-gc(tx)`: whether to garbage collect the transaction's locks as
     /// part of commit (freeze read locks up to the commit timestamp, release
     /// everything else).

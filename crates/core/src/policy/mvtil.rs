@@ -121,6 +121,12 @@ impl LockingPolicy for MvtilPolicy {
         }
     }
 
+    fn prepared_interval(&self, tx: &TxState, candidates: &TsSet) -> TsSet {
+        // Freeze only the remaining interval I: a coordinator must not commit
+        // an MVTIL transaction at a timestamp the interval has shrunk past.
+        candidates.intersection(&tx.ts_set)
+    }
+
     fn commit_gc(&self, _tx: &TxState) -> bool {
         true
     }

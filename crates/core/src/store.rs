@@ -32,6 +32,36 @@ pub struct StoreStats {
     pub frozen_lock_entries: usize,
 }
 
+/// A transaction that passed the participant half of the §7 distributed
+/// commit on one [`MvtlStore`]: commit-time locks are acquired and the
+/// interval the policy is willing to commit at is frozen.
+///
+/// Produced by [`MvtlStore::prepare_commit`]; consumed by
+/// [`MvtlStore::commit_prepared`] (with a timestamp inside
+/// [`PreparedCommit::interval`]) or [`MvtlStore::abort_prepared`]. The
+/// transaction keeps all its locks while prepared, so no other transaction can
+/// invalidate the frozen interval in the meantime.
+#[derive(Debug)]
+pub struct PreparedCommit<V> {
+    txn: MvtlTransaction<V>,
+    interval: TsSet,
+}
+
+impl<V> PreparedCommit<V> {
+    /// The frozen interval: every timestamp the store guarantees this
+    /// transaction can commit at. Never empty.
+    #[must_use]
+    pub fn interval(&self) -> &TsSet {
+        &self.interval
+    }
+
+    /// The id of the prepared transaction.
+    #[must_use]
+    pub fn id(&self) -> mvtl_common::TxId {
+        self.txn.id()
+    }
+}
+
 /// The generic MVTL storage engine, parameterized by a [`LockingPolicy`].
 ///
 /// `V` is the value type stored in versions. The engine is safe to share across
@@ -182,6 +212,76 @@ where
                 return Err(TxError::aborted(AbortReason::NoCommonTimestamp));
             }
         };
+        Ok(self.finish_commit(txn, commit_ts))
+    }
+
+    /// Runs the participant side of the §7 distributed commit: performs the
+    /// policy's commit-time locking, computes the candidate timestamps of
+    /// Algorithm 1 line 13, and *freezes* the interval the policy is willing
+    /// to commit at ([`LockingPolicy::prepared_interval`]). The transaction
+    /// keeps all its locks, so the frozen interval cannot be invalidated until
+    /// the coordinator calls [`MvtlStore::commit_prepared`] or
+    /// [`MvtlStore::abort_prepared`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an abort error when the policy's commit-time locking fails or
+    /// the frozen interval is empty; the transaction is fully aborted (locks
+    /// released) in that case.
+    pub fn prepare_commit(
+        &self,
+        mut txn: MvtlTransaction<V>,
+    ) -> Result<PreparedCommit<V>, TxError> {
+        if !txn.state.is_active() {
+            return Err(TxError::TransactionFinished);
+        }
+        if let Err(err) = self.policy.commit_locks(self, &mut txn.state) {
+            self.abort_internal(&mut txn.state);
+            return Err(err);
+        }
+        let candidates = self.commit_candidates(&txn.state);
+        let interval = self.policy.prepared_interval(&txn.state, &candidates);
+        if interval.is_empty() {
+            self.abort_internal(&mut txn.state);
+            return Err(TxError::aborted(AbortReason::NoCommonTimestamp));
+        }
+        Ok(PreparedCommit { txn, interval })
+    }
+
+    /// Commits a prepared transaction at `commit_ts`, which the coordinator
+    /// picked from the intersection of every participant's frozen interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns an abort error when `commit_ts` lies outside the frozen
+    /// interval reported by [`MvtlStore::prepare_commit`]; the transaction is
+    /// fully aborted in that case. A timestamp inside the interval always
+    /// succeeds, because the transaction still holds all the locks backing it.
+    pub fn commit_prepared(
+        &self,
+        prepared: PreparedCommit<V>,
+        commit_ts: Timestamp,
+    ) -> Result<CommitInfo, TxError> {
+        let PreparedCommit { mut txn, interval } = prepared;
+        if !interval.contains(commit_ts) {
+            self.abort_internal(&mut txn.state);
+            return Err(TxError::aborted(AbortReason::NoCommonTimestamp));
+        }
+        Ok(self.finish_commit(txn, commit_ts))
+    }
+
+    /// Aborts a prepared transaction, releasing its locks on this store (the
+    /// coordinator's empty-intersection path).
+    pub fn abort_prepared(&self, prepared: PreparedCommit<V>) {
+        let mut txn = prepared.txn;
+        self.abort_internal(&mut txn.state);
+    }
+
+    /// The commit tail shared by [`MvtlStore::commit`] and
+    /// [`MvtlStore::commit_prepared`]: installs versions, freezes write locks
+    /// at `commit_ts` and garbage collects per policy. `commit_ts` must be a
+    /// member of the transaction's commit candidates.
+    fn finish_commit(&self, mut txn: MvtlTransaction<V>, commit_ts: Timestamp) -> CommitInfo {
         // Lines 17-19: freeze the write locks at the commit timestamp and
         // expose the committed values. Both happen under the key's latch so
         // that observers never see a frozen write lock without its version.
@@ -201,12 +301,12 @@ where
         if self.policy.commit_gc(&txn.state) {
             self.gc_transaction(&txn.state, commit_ts);
         }
-        Ok(CommitInfo {
+        CommitInfo {
             tx: txn.state.id,
             commit_ts: Some(commit_ts),
             reads: txn.state.read_set.clone(),
             writes: txn.state.write_keys.clone(),
-        })
+        }
     }
 
     /// Aborts the transaction, releasing its locks according to the policy.
@@ -606,6 +706,48 @@ mod tests {
         assert_eq!(stats.versions, 5);
         assert!(stats.lock_entries >= 5);
         assert!(stats.frozen_lock_entries >= 5);
+    }
+
+    #[test]
+    fn prepare_then_commit_at_coordinator_timestamp() {
+        let s = store();
+        let mut tx = s.begin(ProcessId(0));
+        s.write(&mut tx, Key(1), 7).unwrap();
+        let prepared = s.prepare_commit(tx).unwrap();
+        let interval = prepared.interval().clone();
+        assert!(!interval.is_empty());
+        let ts = interval.min().unwrap();
+        let info = s.commit_prepared(prepared, ts).unwrap();
+        assert_eq!(info.commit_ts, Some(ts));
+        assert_eq!(s.snapshot_read(Key(1), Timestamp::MAX), Some(7));
+    }
+
+    #[test]
+    fn commit_prepared_outside_the_frozen_interval_aborts() {
+        let s = store();
+        let mut tx = s.begin(ProcessId(0));
+        s.write(&mut tx, Key(2), 9).unwrap();
+        let prepared = s.prepare_commit(tx).unwrap();
+        let outside = prepared.interval().max().unwrap().succ();
+        let err = s.commit_prepared(prepared, outside).unwrap_err();
+        assert!(err.is_abort());
+        // The failed transaction released its locks: a writer succeeds now.
+        let mut tx = s.begin(ProcessId(1));
+        s.write(&mut tx, Key(2), 10).unwrap();
+        s.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn abort_prepared_releases_locks() {
+        let s = store();
+        let before = s.stats().lock_entries;
+        let mut tx = s.begin(ProcessId(0));
+        s.write(&mut tx, Key(3), 1).unwrap();
+        let prepared = s.prepare_commit(tx).unwrap();
+        assert!(s.stats().lock_entries > before, "prepared txn holds locks");
+        s.abort_prepared(prepared);
+        assert_eq!(s.stats().lock_entries, before);
+        assert_eq!(s.snapshot_read(Key(3), Timestamp::MAX), None);
     }
 
     #[test]

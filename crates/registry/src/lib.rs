@@ -14,6 +14,9 @@
 //! "mvtl-epsilon-clock?eps=16"    MVTL-ε-clock
 //! "2pl?timeout_ms=10"            strict 2PL, 10 ms deadlock timeout
 //! "mvto+"                        the MVTO+ baseline
+//! "sharded?shards=8&inner=mvtil-early"
+//!                                partitioned engine: hash-routed shards,
+//!                                §7 cross-shard interval-intersection commit
 //! ```
 //!
 //! A spec is `name` optionally followed by `?key=value&key=value` parameters.
@@ -47,6 +50,7 @@ use mvtl_core::policy::{
     PrioPolicy, ToPolicy,
 };
 use mvtl_core::{MvtlConfig, MvtlStore};
+use mvtl_shard::{IntersectionPick, MvtlBackend, ShardBackend, ShardedStore};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -151,6 +155,25 @@ impl EngineSpec {
         })
     }
 
+    /// The base engine name of a spec string (everything before `?`).
+    #[must_use]
+    pub fn base_name(spec: &str) -> &str {
+        spec.split('?').next().unwrap_or(spec)
+    }
+
+    /// Appends `key=value&...` parameters to a spec string, using `?` or `&`
+    /// as appropriate. Sweep helpers use this to parameterize `all_specs()`
+    /// entries, some of which (the `sharded` ones) already carry a query
+    /// string.
+    #[must_use]
+    pub fn append_params(spec: &str, params: &str) -> String {
+        if spec.contains('?') {
+            format!("{spec}&{params}")
+        } else {
+            format!("{spec}?{params}")
+        }
+    }
+
     fn take(&mut self, key: &str) -> Option<String> {
         let idx = self.params.iter().position(|(k, _)| k == key)?;
         Some(self.params.remove(idx).1)
@@ -187,6 +210,10 @@ pub const DEFAULT_DELTA: u64 = 100_000;
 pub const DEFAULT_EPSILON: u64 = 8;
 /// Default 2PL deadlock-resolution timeout in milliseconds.
 pub const DEFAULT_2PL_TIMEOUT_MS: u64 = 10;
+/// Default partition count for the `sharded` engine.
+pub const DEFAULT_SHARD_COUNT: usize = 8;
+/// Default inner engine of the `sharded` engine's partitions.
+pub const DEFAULT_SHARD_INNER: &str = "mvtil-early";
 
 /// One canonical spec per registered engine, for sweeps.
 ///
@@ -205,6 +232,8 @@ pub fn all_specs() -> Vec<&'static str> {
         "mvtl-pessimistic",
         "mvto+",
         "2pl",
+        "sharded?shards=8&inner=mvtil-early",
+        "sharded?shards=2&inner=mvtl-to",
     ]
 }
 
@@ -276,6 +305,7 @@ where
                 Duration::from_millis(timeout_ms),
             ))
         }
+        "sharded" => sharded_engine(clock, &mut parsed)?,
         other => {
             return Err(SpecError::UnknownEngine {
                 name: other.to_string(),
@@ -305,6 +335,119 @@ where
         config = config.with_shards(shards);
     }
     Ok(Box::new(MvtlStore::<V, P>::new(policy, clock, config)))
+}
+
+/// Builds the partitioned `sharded` engine: `shards` hash partitions, each an
+/// `MvtlStore` under the `inner` policy, all sharing one clock so that
+/// cross-shard transactions reason from a common timestamp base.
+///
+/// Parameters consumed here: `shards` (partition count, default
+/// [`DEFAULT_SHARD_COUNT`]), `inner` (partition policy, default
+/// [`DEFAULT_SHARD_INNER`]; any MVTL-core engine name — the baselines cannot
+/// freeze intervals and are rejected), `pick` (`min` | `max`, which end of
+/// the interval intersection a cross-shard commit uses; defaults to the
+/// inner engine's own bias: `max` for `mvtil-late`, `min` otherwise),
+/// `map_shards` (each partition's key→cell map shard count), plus the inner
+/// engine's own parameters (`delta`, `eps`, `offset`, `timeout_ms`).
+fn sharded_engine<V>(
+    clock: Arc<GlobalClock>,
+    parsed: &mut EngineSpec,
+) -> Result<Box<dyn Engine<V>>, SpecError>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    let count = parsed
+        .take_parsed::<usize>("shards")?
+        .unwrap_or(DEFAULT_SHARD_COUNT)
+        .max(1);
+    let inner = parsed
+        .take("inner")
+        .unwrap_or_else(|| DEFAULT_SHARD_INNER.to_string());
+    let pick = match parsed.take("pick").as_deref() {
+        None => {
+            if inner == "mvtil-late" {
+                IntersectionPick::Max
+            } else {
+                IntersectionPick::Min
+            }
+        }
+        Some("min") => IntersectionPick::Min,
+        Some("max") => IntersectionPick::Max,
+        Some(other) => {
+            return Err(SpecError::InvalidValue {
+                param: "pick".to_string(),
+                value: other.to_string(),
+            })
+        }
+    };
+    let mut config = MvtlConfig::default();
+    if let Some(timeout_ms) = parsed.take_parsed::<u64>("timeout_ms")? {
+        config = config.with_lock_wait_timeout(Duration::from_millis(timeout_ms));
+    }
+    if let Some(map_shards) = parsed.take_parsed::<usize>("map_shards")? {
+        config = config.with_shards(map_shards);
+    }
+    let clock: Arc<dyn mvtl_clock::ClockSource> = clock;
+    let backend = |policy_for: &dyn Fn() -> Arc<dyn ShardBackend<V>>| {
+        (0..count).map(|_| policy_for()).collect::<Vec<_>>()
+    };
+    let backends: Vec<Arc<dyn ShardBackend<V>>> = match inner.as_str() {
+        "mvtil-early" | "mvtil-late" => {
+            let delta = parsed.take_parsed("delta")?.unwrap_or(DEFAULT_DELTA);
+            let late = inner == "mvtil-late";
+            backend(&|| {
+                MvtlBackend::build(
+                    if late {
+                        MvtilPolicy::late(delta)
+                    } else {
+                        MvtilPolicy::early(delta)
+                    },
+                    Arc::clone(&clock),
+                    config.clone(),
+                )
+            })
+        }
+        "mvtl-to" => {
+            backend(&|| MvtlBackend::build(ToPolicy::new(), Arc::clone(&clock), config.clone()))
+        }
+        "mvtl-ghostbuster" => backend(&|| {
+            MvtlBackend::build(GhostbusterPolicy::new(), Arc::clone(&clock), config.clone())
+        }),
+        "mvtl-epsilon-clock" => {
+            let eps = parsed.take_parsed("eps")?.unwrap_or(DEFAULT_EPSILON);
+            backend(&|| {
+                MvtlBackend::build(EpsilonPolicy::new(eps), Arc::clone(&clock), config.clone())
+            })
+        }
+        "mvtl-pref" => {
+            let offsets = match parsed.take("offset") {
+                None => None,
+                Some(list) => Some(parse_offsets(&list)?),
+            };
+            backend(&|| {
+                let policy = match &offsets {
+                    None => PrefPolicy::new(),
+                    Some(offsets) => PrefPolicy::with_offsets(offsets.clone()),
+                };
+                MvtlBackend::build(policy, Arc::clone(&clock), config.clone())
+            })
+        }
+        "mvtl-prio" => {
+            backend(&|| MvtlBackend::build(PrioPolicy::new(), Arc::clone(&clock), config.clone()))
+        }
+        "mvtl-pessimistic" => backend(&|| {
+            MvtlBackend::build(PessimisticPolicy::new(), Arc::clone(&clock), config.clone())
+        }),
+        other => {
+            // The baselines (mvto+, 2pl) cannot freeze a commit interval, so
+            // they cannot participate in the §7 protocol.
+            return Err(SpecError::InvalidValue {
+                param: "inner".to_string(),
+                value: other.to_string(),
+            });
+        }
+    };
+    Ok(Box::new(ShardedStore::new(backends, clock, pick)))
 }
 
 fn parse_offsets(list: &str) -> Result<Vec<i64>, SpecError> {
@@ -382,5 +525,47 @@ mod tests {
     fn string_values_build_too() {
         let engine = build_for::<String>("mvtil-early?delta=1000").unwrap();
         assert_eq!(engine.name(), "mvtil-early");
+    }
+
+    #[test]
+    fn sharded_specs_build_with_every_mvtl_inner() {
+        for inner in [
+            "mvtil-early",
+            "mvtil-late",
+            "mvtl-to",
+            "mvtl-ghostbuster",
+            "mvtl-epsilon-clock",
+            "mvtl-pref",
+            "mvtl-prio",
+            "mvtl-pessimistic",
+        ] {
+            let spec = format!("sharded?shards=4&inner={inner}");
+            let engine = build(&spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(engine.name(), "sharded", "{spec}");
+        }
+        // Defaults and the pick/map_shards knobs parse.
+        assert!(build("sharded").is_ok());
+        assert!(build("sharded?shards=2&inner=mvtil-late&delta=500&pick=max&map_shards=4").is_ok());
+        assert!(build_for::<String>("sharded?shards=2").is_ok());
+    }
+
+    #[test]
+    fn sharded_rejects_baseline_inners_and_bad_picks() {
+        assert!(matches!(
+            build("sharded?inner=mvto+").map(|_| ()),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            build("sharded?inner=2pl").map(|_| ()),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            build("sharded?pick=median").map(|_| ()),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            build("sharded?shards=8&frobnicate=1").map(|_| ()),
+            Err(SpecError::UnknownParam { .. })
+        ));
     }
 }

@@ -6,6 +6,17 @@
 use mvtl_common::{EngineExt, Key, ProcessId, RetryOptions, TxError};
 use mvtl_registry::{all_specs, build, EngineSpec};
 
+/// Appends `params` to `spec`, using `&` when the spec already carries a
+/// query (the `sharded` entries in `all_specs()` do).
+fn with_params(spec: &str, params: &str) -> String {
+    EngineSpec::append_params(spec, params)
+}
+
+/// The spec's base engine name (before `?`).
+fn base(spec: &str) -> &str {
+    EngineSpec::base_name(spec)
+}
+
 #[test]
 fn every_spec_builds_and_name_matches() {
     for spec in all_specs() {
@@ -22,11 +33,16 @@ fn every_spec_builds_and_name_matches() {
 fn every_spec_accepts_shared_parameters() {
     // The MVTL engines share timeout/shard knobs; the baselines have their own.
     for spec in all_specs() {
-        let parameterized = match spec {
+        let parameterized = match base(spec) {
             "mvto+" => spec.to_string(),
-            "2pl" => format!("{spec}?timeout_ms=25"),
-            "mvtil-early" | "mvtil-late" => format!("{spec}?delta=5000&timeout_ms=25&shards=8"),
-            _ => format!("{spec}?timeout_ms=25&shards=8"),
+            "2pl" => with_params(spec, "timeout_ms=25"),
+            "mvtil-early" | "mvtil-late" => with_params(spec, "delta=5000&timeout_ms=25&shards=8"),
+            // `delta` only parses when the inner engine is MVTIL.
+            "sharded" if spec.contains("inner=mvtil") => {
+                with_params(spec, "delta=5000&timeout_ms=25&map_shards=8&pick=min")
+            }
+            "sharded" => with_params(spec, "timeout_ms=25&map_shards=8&pick=min"),
+            _ => with_params(spec, "timeout_ms=25&shards=8"),
         };
         build(&parameterized).unwrap_or_else(|e| panic!("{parameterized}: failed to build: {e}"));
     }
@@ -61,9 +77,9 @@ fn dropping_an_uncommitted_transaction_releases_its_locks() {
     for spec in all_specs() {
         // Short lock timeouts so a leak fails the test quickly (as an abort)
         // rather than hanging it.
-        let parameterized = match spec {
+        let parameterized = match base(spec) {
             "mvto+" => spec.to_string(),
-            _ => format!("{spec}?timeout_ms=50"),
+            _ => with_params(spec, "timeout_ms=50"),
         };
         let engine = build(&parameterized).unwrap();
 
@@ -107,6 +123,47 @@ fn run_retry_loop_works_on_every_engine() {
         assert_eq!(report.value, 0, "{spec}");
         assert!(report.attempts >= 1, "{spec}");
         assert_eq!(report.info.writes, vec![Key(9)], "{spec}");
+    }
+}
+
+/// Multi-shard engines must release lock-table entries on **every**
+/// participating shard when an uncommitted cross-shard transaction is
+/// aborted or dropped: a follow-up transaction over the same keys (which
+/// spans the same shards) must commit without hitting leaked locks.
+#[test]
+fn dropping_a_cross_shard_transaction_releases_every_shard() {
+    const KEYS: u64 = 16; // with 8 shards, w.h.p. every shard participates
+    for spec in [
+        "sharded?shards=2&inner=mvtil-early&timeout_ms=50",
+        "sharded?shards=8&inner=mvtil-early&timeout_ms=50",
+        "sharded?shards=8&inner=mvtl-to&timeout_ms=50",
+        "sharded?shards=8&inner=mvtl-pessimistic&timeout_ms=50",
+    ] {
+        let engine = build(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+
+        {
+            let mut tx = engine.begin(ProcessId(1));
+            for k in 0..KEYS {
+                tx.write(Key(k), k).unwrap();
+            }
+            // Dropped without commit: every shard sub-transaction must abort.
+        }
+
+        let mut tx = engine.begin(ProcessId(2));
+        for k in 0..KEYS {
+            tx.write(Key(k), k + 100).unwrap();
+        }
+        let info = tx.commit().unwrap_or_else(|e| {
+            panic!("{spec}: dropped cross-shard transaction leaked locks on some shard: {e}")
+        });
+        assert_eq!(info.writes.len(), KEYS as usize, "{spec}");
+
+        // The dropped transaction's writes are invisible on every shard.
+        let mut tx = engine.begin(ProcessId(3));
+        for k in 0..KEYS {
+            assert_eq!(tx.read(Key(k)).unwrap(), Some(k + 100), "{spec}");
+        }
+        tx.commit().unwrap();
     }
 }
 

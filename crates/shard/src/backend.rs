@@ -1,0 +1,266 @@
+//! The object-safe participant interface a shard must offer to the
+//! cross-shard commit coordinator, and its implementation over
+//! [`MvtlStore`].
+//!
+//! [`ShardedStore`](crate::ShardedStore) holds its shards as
+//! `Arc<dyn ShardBackend<V>>`, so one coordinator drives shards built from
+//! *any* MVTL policy. The three traits mirror the participant life cycle of
+//! §7: open a transaction, run operations, then either commit alone
+//! (single-shard fast path), or **prepare** — freeze the interval of
+//! timestamps the shard guarantees the transaction can commit at — and wait
+//! for the coordinator's `commit-at` / `abort` decision.
+
+use mvtl_clock::ClockSource;
+use mvtl_common::{CommitInfo, Key, ProcessId, Timestamp, TsSet, TxError};
+use mvtl_core::policy::LockingPolicy;
+use mvtl_core::{MvtlConfig, MvtlStore, MvtlTransaction, PreparedCommit, StoreStats};
+use std::sync::Arc;
+
+/// One partition of a [`ShardedStore`](crate::ShardedStore): a full
+/// transactional engine that additionally speaks the §7 participant protocol.
+pub trait ShardBackend<V>: Send + Sync {
+    /// Opens a transaction on this shard. The coordinator always pins the
+    /// clock reading, so that every shard of one distributed transaction
+    /// reasons from the same timestamp base (the client-side policy state of
+    /// §7, split across participants).
+    fn begin(&self, process: ProcessId, pinned: Option<Timestamp>) -> Box<dyn ShardTxn<V>>;
+
+    /// Aggregate state-size statistics of the shard (locks, versions), used
+    /// by tests and the state-size experiments.
+    fn stats(&self) -> StoreStats;
+
+    /// Purges versions and lock state older than `bound` on this shard.
+    /// Returns `(versions_removed, lock_entries_removed)`.
+    fn purge_below(&self, bound: Timestamp) -> (usize, usize);
+}
+
+/// An open transaction on one shard.
+pub trait ShardTxn<V>: Send {
+    /// Reads `key` within the shard transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Aborted`] when the shard's policy aborts the
+    /// transaction; the shard-side state is already released in that case.
+    fn read(&mut self, key: Key) -> Result<Option<V>, TxError>;
+
+    /// Writes `value` to `key` within the shard transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Aborted`] when eager lock acquisition fails.
+    fn write(&mut self, key: Key, value: V) -> Result<(), TxError>;
+
+    /// Commits directly, letting the shard's own policy pick the timestamp —
+    /// the fast path for transactions that touched a single shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Aborted`] when no serialization point exists.
+    fn commit(self: Box<Self>) -> Result<CommitInfo, TxError>;
+
+    /// Runs the participant side of the §7 commit: acquires commit-time
+    /// locks and freezes the interval of timestamps this shard guarantees
+    /// the transaction can commit at.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Aborted`] when commit-time locking fails or the
+    /// frozen interval is empty; the shard-side state is released.
+    fn prepare(self: Box<Self>) -> Result<Box<dyn PreparedShardTxn<V>>, TxError>;
+
+    /// Aborts the shard transaction, releasing its locks.
+    fn abort(self: Box<Self>);
+}
+
+/// A shard transaction in the prepared state: its frozen interval is
+/// immutable (the transaction still holds every backing lock) until the
+/// coordinator decides. Dropping a prepared transaction without a decision
+/// aborts it.
+pub trait PreparedShardTxn<V>: Send {
+    /// The frozen interval reported to the coordinator. Never empty.
+    fn interval(&self) -> &TsSet;
+
+    /// Commits at the coordinator-chosen timestamp, which must lie inside
+    /// [`PreparedShardTxn::interval`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Aborted`] when `ts` lies outside the frozen
+    /// interval (a coordinator bug); a timestamp inside always succeeds.
+    fn commit_at(self: Box<Self>, ts: Timestamp) -> Result<CommitInfo, TxError>;
+
+    /// Aborts the prepared transaction (the coordinator's empty-intersection
+    /// decision), releasing its locks.
+    fn abort(self: Box<Self>);
+}
+
+/// [`ShardBackend`] over an [`MvtlStore`] with any [`LockingPolicy`]: the
+/// standard way to build a [`ShardedStore`](crate::ShardedStore).
+pub struct MvtlBackend<V, P> {
+    store: Arc<MvtlStore<V, P>>,
+}
+
+impl<V, P> MvtlBackend<V, P>
+where
+    V: Clone + Send + Sync + 'static,
+    P: LockingPolicy,
+{
+    /// Wraps an existing store.
+    #[must_use]
+    pub fn new(store: Arc<MvtlStore<V, P>>) -> Self {
+        MvtlBackend { store }
+    }
+
+    /// Builds a fresh store for `policy` and wraps it, type-erased — the form
+    /// the registry and [`ShardedStore::with_policy`](crate::ShardedStore)
+    /// consume.
+    #[must_use]
+    pub fn build(
+        policy: P,
+        clock: Arc<dyn ClockSource>,
+        config: MvtlConfig,
+    ) -> Arc<dyn ShardBackend<V>> {
+        Arc::new(MvtlBackend::new(Arc::new(MvtlStore::new(
+            policy, clock, config,
+        ))))
+    }
+
+    /// The wrapped store.
+    #[must_use]
+    pub fn store(&self) -> &Arc<MvtlStore<V, P>> {
+        &self.store
+    }
+}
+
+impl<V, P> ShardBackend<V> for MvtlBackend<V, P>
+where
+    V: Clone + Send + Sync + 'static,
+    P: LockingPolicy,
+{
+    fn begin(&self, process: ProcessId, pinned: Option<Timestamp>) -> Box<dyn ShardTxn<V>> {
+        Box::new(MvtlShardTxn {
+            store: Arc::clone(&self.store),
+            txn: Some(self.store.begin_with(process, pinned, false)),
+        })
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    fn purge_below(&self, bound: Timestamp) -> (usize, usize) {
+        self.store.purge_below(bound)
+    }
+}
+
+/// [`ShardTxn`] over an [`MvtlStore`]. Owns an `Arc` to the store so handles
+/// are `'static` and can be held across the coordinator's shard vector. The
+/// inner transaction is an `Option` so `Drop` can abort a handle that was
+/// neither committed nor explicitly aborted.
+struct MvtlShardTxn<V, P>
+where
+    V: Clone + Send + Sync + 'static,
+    P: LockingPolicy,
+{
+    store: Arc<MvtlStore<V, P>>,
+    txn: Option<MvtlTransaction<V>>,
+}
+
+impl<V, P> ShardTxn<V> for MvtlShardTxn<V, P>
+where
+    V: Clone + Send + Sync + 'static,
+    P: LockingPolicy,
+{
+    fn read(&mut self, key: Key) -> Result<Option<V>, TxError> {
+        let txn = self.txn.as_mut().expect("shard txn present until finished");
+        self.store.read(txn, key)
+    }
+
+    fn write(&mut self, key: Key, value: V) -> Result<(), TxError> {
+        let txn = self.txn.as_mut().expect("shard txn present until finished");
+        self.store.write(txn, key, value)
+    }
+
+    fn commit(mut self: Box<Self>) -> Result<CommitInfo, TxError> {
+        let txn = self.txn.take().expect("shard txn present until finished");
+        self.store.commit(txn)
+    }
+
+    fn prepare(mut self: Box<Self>) -> Result<Box<dyn PreparedShardTxn<V>>, TxError> {
+        let txn = self.txn.take().expect("shard txn present until finished");
+        let store = Arc::clone(&self.store);
+        let prepared = store.prepare_commit(txn)?;
+        Ok(Box::new(MvtlPreparedShardTxn {
+            store,
+            prepared: Some(prepared),
+        }))
+    }
+
+    fn abort(mut self: Box<Self>) {
+        if let Some(txn) = self.txn.take() {
+            self.store.abort(txn);
+        }
+    }
+}
+
+impl<V, P> Drop for MvtlShardTxn<V, P>
+where
+    V: Clone + Send + Sync + 'static,
+    P: LockingPolicy,
+{
+    fn drop(&mut self) {
+        if let Some(txn) = self.txn.take() {
+            self.store.abort(txn);
+        }
+    }
+}
+
+/// [`PreparedShardTxn`] over an [`MvtlStore`].
+struct MvtlPreparedShardTxn<V, P>
+where
+    V: Clone + Send + Sync + 'static,
+    P: LockingPolicy,
+{
+    store: Arc<MvtlStore<V, P>>,
+    prepared: Option<PreparedCommit<V>>,
+}
+
+impl<V, P> PreparedShardTxn<V> for MvtlPreparedShardTxn<V, P>
+where
+    V: Clone + Send + Sync + 'static,
+    P: LockingPolicy,
+{
+    fn interval(&self) -> &TsSet {
+        self.prepared
+            .as_ref()
+            .expect("prepared txn present until decided")
+            .interval()
+    }
+
+    fn commit_at(mut self: Box<Self>, ts: Timestamp) -> Result<CommitInfo, TxError> {
+        let prepared = self
+            .prepared
+            .take()
+            .expect("prepared txn present until decided");
+        self.store.commit_prepared(prepared, ts)
+    }
+
+    fn abort(mut self: Box<Self>) {
+        if let Some(prepared) = self.prepared.take() {
+            self.store.abort_prepared(prepared);
+        }
+    }
+}
+
+impl<V, P> Drop for MvtlPreparedShardTxn<V, P>
+where
+    V: Clone + Send + Sync + 'static,
+    P: LockingPolicy,
+{
+    fn drop(&mut self) {
+        if let Some(prepared) = self.prepared.take() {
+            self.store.abort_prepared(prepared);
+        }
+    }
+}

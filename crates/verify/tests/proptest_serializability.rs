@@ -57,22 +57,28 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
     })
 }
 
-/// The sequential-replay engine fleet: every MVTL policy plus the baselines,
-/// each with a short lock-wait timeout and a clock starting above the pinned
-/// timestamps, exactly like the paper's replay setup.
+/// The sequential-replay engine fleet: every MVTL policy, the baselines and
+/// the partitioned engine, each with a short lock-wait timeout and a clock
+/// starting above the pinned timestamps, exactly like the paper's replay
+/// setup.
 fn sequential_specs() -> Vec<String> {
     mvtl_registry::all_specs()
         .into_iter()
         .map(|spec| {
-            let params = match spec {
+            let params = match mvtl_registry::EngineSpec::base_name(spec) {
                 "mvtil-early" | "mvtil-late" => "delta=25&clock_start=1000&timeout_ms=5",
                 "mvtl-pref" => "offset=-5&clock_start=1000&timeout_ms=5",
                 "mvtl-epsilon-clock" => "eps=7&clock_start=1000&timeout_ms=5",
                 "2pl" => "timeout_ms=5",
                 "mvto+" => "clock_start=1000",
+                // The sharded entries carry MVTIL or TO inners; `delta` only
+                // parses for the MVTIL ones.
+                "sharded" if spec.contains("inner=mvtil") => {
+                    "delta=25&clock_start=1000&timeout_ms=5"
+                }
                 _ => "clock_start=1000&timeout_ms=5",
             };
-            format!("{spec}?{params}")
+            mvtl_registry::EngineSpec::append_params(spec, params)
         })
         .collect()
 }
@@ -179,6 +185,43 @@ fn concurrent_random_transactions_are_serializable_under_every_mvtl_policy() {
         assert!(!history.is_empty(), "{spec}: some transactions must commit");
         if let Err(violation) = check_serializable(&history) {
             panic!("{spec}: non-serializable concurrent history: {violation}");
+        }
+    }
+}
+
+/// The partitioned engine's §7 cross-shard commit must preserve one-copy
+/// serializability under real threads, for one, two and eight shards. The
+/// small key space forces both heavy contention and (for > 1 shard) a high
+/// fraction of cross-shard transactions whose commit runs the interval
+/// intersection.
+#[test]
+fn concurrent_cross_shard_histories_are_serializable_for_1_2_and_8_shards() {
+    for shards in [1usize, 2, 8] {
+        for inner in ["mvtil-early", "mvtl-to"] {
+            // `delta` only parses when the inner engine is MVTIL.
+            let delta = if inner.starts_with("mvtil") {
+                "&delta=5000"
+            } else {
+                ""
+            };
+            let spec = format!("sharded?shards={shards}&inner={inner}{delta}&timeout_ms=5");
+            let engine = build(&spec);
+            let history = replay_concurrent(engine.as_ref(), 4, 60, |thread, iter, txn| {
+                let mut rng = StdRng::seed_from_u64((thread * 4_099 + iter) as u64);
+                for _ in 0..rng.gen_range(2..6usize) {
+                    let key = Key(rng.gen_range(0..KEYS));
+                    if rng.gen_bool(0.5) {
+                        txn.read(key)?;
+                    } else {
+                        txn.write(key, rng.gen_range(0..1_000))?;
+                    }
+                }
+                Ok(())
+            });
+            assert!(!history.is_empty(), "{spec}: some transactions must commit");
+            if let Err(violation) = check_serializable(&history) {
+                panic!("{spec}: non-serializable concurrent history: {violation}");
+            }
         }
     }
 }

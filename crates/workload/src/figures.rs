@@ -8,7 +8,7 @@
 //! reported shapes.
 
 use crate::runner::{run_closed_loop, RunnerOptions};
-use crate::spec::WorkloadSpec;
+use crate::spec::{KeyDist, WorkloadSpec};
 use mvtl_sim::{Protocol, SimConfig, Simulation};
 use std::time::Duration;
 
@@ -392,10 +392,24 @@ pub fn fig7_gc_over_time(scale: Scale) -> FigureTable {
 /// CI step, which fails if any engine stops committing).
 #[must_use]
 pub fn engine_grid(scale: Scale) -> FigureTable {
+    engine_grid_with_skew(scale, KeyDist::Uniform)
+}
+
+/// [`engine_grid`] under an arbitrary key distribution: the skew axis of the
+/// sweep. Uniform reproduces the paper's setup; `zipf(0.99)` / hot-set runs
+/// put every engine (including the partitioned `sharded` ones) under the
+/// contention regime where concurrency-control protocols differentiate.
+#[must_use]
+pub fn engine_grid_with_skew(scale: Scale, dist: KeyDist) -> FigureTable {
     let (clients_list, duration_ms): (&[usize], u64) = match scale {
         Scale::Smoke => (&[4], 80),
         Scale::Quick => (&[4, 8], 200),
         Scale::Paper => (&[4, 8, 16, 32], 1_000),
+    };
+    let x_label: &'static str = match dist {
+        KeyDist::Uniform => "clients",
+        KeyDist::Zipf { .. } => "clients(zipf)",
+        KeyDist::HotSet { .. } => "clients(hot)",
     };
     let mut rows = Vec::new();
     for &clients in clients_list {
@@ -407,13 +421,13 @@ pub fn engine_grid(scale: Scale) -> FigureTable {
                 &RunnerOptions {
                     clients,
                     duration: Duration::from_millis(duration_ms),
-                    spec: WorkloadSpec::new(8, 0.25, 512),
+                    spec: WorkloadSpec::new(8, 0.25, 512).with_dist(dist),
                     seed: 42,
                 },
                 |v| v,
             );
             rows.push(FigureRow {
-                x_label: "clients",
+                x_label,
                 x: clients as f64,
                 protocol: engine.name(),
                 throughput_tps: metrics.throughput_tps(),
@@ -425,7 +439,10 @@ pub fn engine_grid(scale: Scale) -> FigureTable {
     }
     FigureTable {
         id: "engine-grid",
-        title: "Registry sweep: threaded engines in a closed loop".to_string(),
+        title: format!(
+            "Registry sweep: threaded engines in a closed loop ({} keys)",
+            dist.label()
+        ),
         rows,
     }
 }
@@ -584,6 +601,17 @@ mod tests {
     #[test]
     fn engine_grid_covers_every_registry_spec() {
         check_engine_grid(&engine_grid(Scale::Smoke));
+    }
+
+    #[test]
+    fn skewed_engine_grid_keeps_every_engine_committing() {
+        // The zipf(0.99) axis: all engines — including the partitioned
+        // `sharded` specs, whose hot keys concentrate on a few shards — must
+        // keep committing under heavy skew.
+        check_engine_grid(&engine_grid_with_skew(
+            Scale::Smoke,
+            KeyDist::Zipf { theta: 0.99 },
+        ));
     }
 
     #[test]

@@ -32,4 +32,4 @@ pub mod spec;
 
 pub use figures::{FigureRow, FigureTable, Scale};
 pub use runner::{run_closed_loop, RunnerMetrics, RunnerOptions};
-pub use spec::{TxTemplate, WorkloadSpec};
+pub use spec::{KeyDist, KeySampler, TxTemplate, WorkloadSpec};

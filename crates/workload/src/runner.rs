@@ -100,9 +100,12 @@ pub fn run_closed_loop<V>(
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed ^ ((client as u64 + 1) * 0x9E37_79B9));
                 let process = ProcessId(client as u32 + 1);
+                // Built once per thread: the Zipf sampler's setup math must
+                // not run per key draw.
+                let sampler = spec.key_sampler();
                 let mut counter = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    let template = spec.generate(&mut rng);
+                    let template = spec.generate_with(&sampler, &mut rng);
                     let mut txn = engine.begin(process);
                     let result = (|| -> Result<(), TxError> {
                         for (key, write) in &template.ops {

@@ -162,6 +162,151 @@ impl SampleRange<f64> for RangeInclusive<f64> {
     }
 }
 
+/// Distribution primitives, mirroring the slice of
+/// [`rand_distr`](https://docs.rs/rand_distr) (0.4 API) the workspace uses,
+/// folded into the `rand` shim since `rand_distr` only builds on top of
+/// `rand`.
+pub mod distributions {
+    use super::{RngCore, Standard};
+
+    /// Types that produce samples of `T`, mirroring
+    /// `rand::distributions::Distribution`.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+    }
+
+    /// Error constructing a [`Zipf`] distribution.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum ZipfError {
+        /// `n` was zero.
+        NumberOfElementsIsZero,
+        /// The exponent was negative or not finite.
+        ExponentInvalid,
+    }
+
+    impl core::fmt::Display for ZipfError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                ZipfError::NumberOfElementsIsZero => write!(f, "n must be at least 1"),
+                ZipfError::ExponentInvalid => write!(f, "exponent must be finite and >= 0"),
+            }
+        }
+    }
+
+    impl std::error::Error for ZipfError {}
+
+    /// The bounded Zipf distribution `P(k) ∝ k^{-s}` over `{1, ..., n}`,
+    /// mirroring `rand_distr::Zipf`.
+    ///
+    /// Sampling uses Hörmann & Derflinger's **rejection-inversion** (the
+    /// algorithm behind `rand_distr` and Apache Commons'
+    /// `RejectionInversionZipfSampler`): O(1) per sample with no O(n) zeta
+    /// precomputation, valid for any exponent `s ≥ 0` including `s = 1`.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Zipf {
+        n: f64,
+        s: f64,
+        /// `H(1.5) - 1`: lower end of the inversion domain (`h(1) = 1`).
+        h_x1: f64,
+        /// `H(n + 0.5)`: upper end of the inversion domain.
+        h_n: f64,
+        /// Acceptance cutoff `2 - H⁻¹(H(2.5) - h(2))`.
+        cutoff: f64,
+    }
+
+    /// `H(x) = (x^(1-s) - 1) / (1-s)`, continuous at `s = 1` (where it is
+    /// `ln x`), computed stably via `expm1`.
+    fn h_integral(x: f64, s: f64) -> f64 {
+        let log_x = x.ln();
+        helper2((1.0 - s) * log_x) * log_x
+    }
+
+    /// `h(x) = x^{-s}`.
+    fn h(x: f64, s: f64) -> f64 {
+        (-s * x.ln()).exp()
+    }
+
+    /// Inverse of [`h_integral`].
+    fn h_integral_inverse(y: f64, s: f64) -> f64 {
+        let mut t = y * (1.0 - s);
+        if t < -1.0 {
+            // Numerical guard near the lower boundary.
+            t = -1.0;
+        }
+        (helper1(t) * y).exp()
+    }
+
+    /// `ln(1 + x) / x`, continuous at 0.
+    fn helper1(x: f64) -> f64 {
+        if x.abs() > 1e-8 {
+            x.ln_1p() / x
+        } else {
+            1.0 - x / 2.0 + x * x / 3.0
+        }
+    }
+
+    /// `(e^x - 1) / x`, continuous at 0.
+    fn helper2(x: f64) -> f64 {
+        if x.abs() > 1e-8 {
+            x.exp_m1() / x
+        } else {
+            1.0 + x / 2.0 + x * x / 6.0
+        }
+    }
+
+    impl Zipf {
+        /// Creates a Zipf distribution over `{1, ..., n}` with exponent `s`.
+        ///
+        /// # Errors
+        ///
+        /// Returns a [`ZipfError`] when `n` is zero or `s` is negative or not
+        /// finite.
+        pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+            if n == 0 {
+                return Err(ZipfError::NumberOfElementsIsZero);
+            }
+            if !s.is_finite() || s < 0.0 {
+                return Err(ZipfError::ExponentInvalid);
+            }
+            let n_f = n as f64;
+            Ok(Zipf {
+                n: n_f,
+                s,
+                h_x1: h_integral(1.5, s) - 1.0,
+                h_n: h_integral(n_f + 0.5, s),
+                cutoff: 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s),
+            })
+        }
+
+        /// Draws one rank in `{1, ..., n}`.
+        pub fn sample_index<R: RngCore>(&self, rng: &mut R) -> u64 {
+            loop {
+                let u = self.h_n + f64::sample(rng) * (self.h_x1 - self.h_n);
+                let x = h_integral_inverse(u, self.s);
+                let k = x.round().clamp(1.0, self.n);
+                // Accept k either inside the unconditional-acceptance band
+                // around the inversion point, or by the exact rejection test.
+                if k - x <= self.cutoff || u >= h_integral(k + 0.5, self.s) - h(k, self.s) {
+                    return k as u64;
+                }
+            }
+        }
+    }
+
+    impl Distribution<u64> for Zipf {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> u64 {
+            self.sample_index(rng)
+        }
+    }
+
+    impl Distribution<f64> for Zipf {
+        fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+            self.sample_index(rng) as f64
+        }
+    }
+}
+
 /// The concrete generators, mirroring `rand::rngs`.
 pub mod rngs {
     use super::{RngCore, SeedableRng};
@@ -235,6 +380,67 @@ mod tests {
             assert!((0.7..1.5).contains(&f));
             let u = rng.gen_range(2..8usize);
             assert!((2..8).contains(&u));
+        }
+    }
+
+    #[test]
+    fn zipf_ranks_stay_in_range_and_skew_toward_small_ranks() {
+        use super::distributions::{Distribution, Zipf};
+        let mut rng = StdRng::seed_from_u64(11);
+        for s in [0.5, 0.99, 1.0, 1.2] {
+            let zipf = Zipf::new(100, s).unwrap();
+            let mut counts = [0u32; 100];
+            for _ in 0..20_000 {
+                let k: u64 = zipf.sample(&mut rng);
+                assert!((1..=100).contains(&k), "rank {k} out of range (s={s})");
+                counts[(k - 1) as usize] += 1;
+            }
+            // Heavily skewed: rank 1 dominates rank 10, which dominates the
+            // tail average — the qualitative Zipf shape.
+            assert!(counts[0] > counts[9], "s={s}: {:?}", &counts[..12]);
+            let tail_avg = counts[50..].iter().sum::<u32>() / 50;
+            assert!(counts[0] > 4 * tail_avg.max(1), "s={s}");
+        }
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        use super::distributions::{Distribution, Zipf};
+        let mut rng = StdRng::seed_from_u64(5);
+        let zipf = Zipf::new(10, 0.0).unwrap();
+        let mut counts = [0u32; 10];
+        for _ in 0..50_000 {
+            let k: u64 = zipf.sample(&mut rng);
+            counts[(k - 1) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (4_000..6_000).contains(&c),
+                "rank {} count {c} not uniform: {counts:?}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_rejects_bad_parameters() {
+        use super::distributions::Zipf;
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+        assert!(Zipf::new(1, 1.0).is_ok());
+    }
+
+    #[test]
+    fn zipf_is_deterministic_for_a_fixed_seed() {
+        use super::distributions::{Distribution, Zipf};
+        let zipf = Zipf::new(1_000, 0.9).unwrap();
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let ka: u64 = zipf.sample(&mut a);
+            let kb: u64 = zipf.sample(&mut b);
+            assert_eq!(ka, kb);
         }
     }
 

@@ -14,6 +14,7 @@
 //! | [`core`] | `mvtl-core` | the generic MVTL engine and every policy of §5 |
 //! | [`baselines`] | `mvtl-baselines` | MVTO+ and strict 2PL |
 //! | [`registry`] | `mvtl-registry` | string-spec engine factory (`"mvtil-early?delta=1000"` → `Box<dyn Engine>`) |
+//! | [`shard`] | `mvtl-shard` | partitioned engine: hash-routed shards, §7 cross-shard interval-intersection commit |
 //! | [`verify`] | `mvtl-verify` | MVSG serializability checking, canonical schedules |
 //! | [`sim`] | `mvtl-sim` | discrete-event simulation of the distributed system (§7, §8) |
 //! | [`workload`] | `mvtl-workload` | workload generators, runners, the figure harness |
@@ -54,6 +55,7 @@ pub use mvtl_common as common;
 pub use mvtl_core as core;
 pub use mvtl_locks as locks;
 pub use mvtl_registry as registry;
+pub use mvtl_shard as shard;
 pub use mvtl_sim as sim;
 pub use mvtl_storage as storage;
 pub use mvtl_verify as verify;
