@@ -2,7 +2,8 @@
 
 use mvtl_clock::ClockSource;
 use mvtl_common::{
-    AbortReason, CommitInfo, Key, ProcessId, Timestamp, TransactionalKV, TxError, TxId, TxStatus,
+    AbortReason, ActiveTxnRegistry, CommitInfo, Key, ProcessId, StoreStats, Timestamp,
+    TransactionalKV, TxError, TxId, TxStatus, TxnPin,
 };
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
@@ -112,6 +113,8 @@ pub struct MvtoTransaction<V> {
     status: TxStatus,
     read_set: Vec<(Key, Timestamp)>,
     writes: Vec<(Key, V)>,
+    /// Ticket in the store's active-transaction registry (GC watermark).
+    gc_pin: Option<TxnPin>,
 }
 
 impl<V> MvtoTransaction<V> {
@@ -137,6 +140,9 @@ impl<V> MvtoTransaction<V> {
 pub struct MvtoStore<V> {
     clock: Arc<dyn ClockSource>,
     shards: Vec<MvtoShard<V>>,
+    /// In-flight transactions, pinned at their begin timestamp; the minimum
+    /// is the GC low watermark (reads anchor strictly below `txn.ts`).
+    active: ActiveTxnRegistry,
 }
 
 /// One shard of the key map: keys hash to a shard, each key owns a latched
@@ -153,6 +159,7 @@ where
         MvtoStore {
             clock,
             shards: (0..64).map(|_| RwLock::new(HashMap::new())).collect(),
+            active: ActiveTxnRegistry::new(),
         }
     }
 
@@ -172,6 +179,12 @@ where
     /// Purges versions older than `bound` (keeping the most recent one per
     /// key), as triggered by the timestamp service (§8.1). Returns the number
     /// of versions removed.
+    ///
+    /// Cells are never reclaimed here: an empty `MvtoKeyState` still carries
+    /// the read-timestamp of the `⊥` version (`bottom_rts`), which MVTO+'s
+    /// write rule consults — discarding it would re-admit writes below past
+    /// reads. This is exactly the "aborted transactions leave their
+    /// read-timestamps behind" footprint the MVTL policies avoid.
     pub fn purge_below(&self, bound: Timestamp) -> usize {
         let mut removed = 0;
         for shard in &self.shards {
@@ -195,6 +208,21 @@ where
         }
         count
     }
+
+    /// The smallest begin timestamp among in-flight transactions, or `None`
+    /// when none is active. Reads anchor strictly below the transaction's
+    /// begin timestamp, so purging below this bound never aborts a live
+    /// transaction.
+    #[must_use]
+    pub fn low_watermark(&self) -> Option<Timestamp> {
+        self.active.low_watermark()
+    }
+
+    fn release_pin(&self, txn: &mut MvtoTransaction<V>) {
+        if let Some(pin) = txn.gc_pin.take() {
+            self.active.deregister(pin);
+        }
+    }
 }
 
 impl<V> TransactionalKV<V> for MvtoStore<V>
@@ -214,6 +242,7 @@ where
             status: TxStatus::Active,
             read_set: Vec::new(),
             writes: Vec::new(),
+            gc_pin: Some(self.active.register(ts)),
         }
     }
 
@@ -235,6 +264,7 @@ where
             }
             Err(bound) => {
                 txn.status = TxStatus::Aborted;
+                self.release_pin(txn);
                 Err(TxError::aborted(AbortReason::VersionPurged {
                     key,
                     below: bound,
@@ -277,6 +307,7 @@ where
         if let Some(key) = conflicting_key {
             drop(guards);
             txn.status = TxStatus::Aborted;
+            self.release_pin(&mut txn);
             return Err(TxError::aborted(AbortReason::WriteConflict { key }));
         }
         for (key, value) in txn.writes.drain(..) {
@@ -286,6 +317,7 @@ where
         }
         drop(guards);
         txn.status = TxStatus::Committed;
+        self.release_pin(&mut txn);
         Ok(CommitInfo {
             tx: txn.id,
             commit_ts: Some(txn.ts),
@@ -297,10 +329,33 @@ where
     fn abort(&self, mut txn: Self::Txn) {
         // Buffered writes disappear; read-timestamps, by design, stay.
         txn.status = TxStatus::Aborted;
+        self.release_pin(&mut txn);
     }
 
     fn name(&self) -> &'static str {
         "mvto+"
+    }
+
+    fn stats(&self) -> StoreStats {
+        let mut stats = StoreStats::default();
+        for shard in &self.shards {
+            let cells: Vec<_> = shard.read().values().cloned().collect();
+            for cell in cells {
+                let state = cell.lock();
+                stats.keys += 1;
+                stats.versions += state.versions.len();
+                stats.purged_versions += state.purged;
+            }
+        }
+        stats
+    }
+
+    fn purge_below(&self, bound: Timestamp) -> (usize, usize) {
+        (MvtoStore::purge_below(self, bound), 0)
+    }
+
+    fn low_watermark(&self) -> Option<Timestamp> {
+        MvtoStore::low_watermark(self)
     }
 }
 
@@ -407,6 +462,36 @@ mod tests {
         let mut r = store.begin(ProcessId(3));
         assert_eq!(store.read(&mut r, Key(1)).unwrap(), Some(100));
         store.commit(r).unwrap();
+    }
+
+    #[test]
+    fn watermark_tracks_active_transactions_for_gc() {
+        let store: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
+        assert_eq!(store.low_watermark(), None);
+        let t1 = store.begin(ProcessId(1));
+        let t2 = store.begin(ProcessId(2));
+        assert_eq!(store.low_watermark(), Some(t1.timestamp()));
+        store.abort(t1);
+        assert_eq!(store.low_watermark(), Some(t2.timestamp()));
+        store.commit(t2).unwrap();
+        assert_eq!(store.low_watermark(), None);
+    }
+
+    #[test]
+    fn stats_report_versions_and_purges() {
+        let store: MvtoStore<u64> = MvtoStore::new(Arc::new(GlobalClock::new()));
+        for i in 0..4u64 {
+            let mut tx = store.begin(ProcessId(0));
+            store.write(&mut tx, Key(1), i).unwrap();
+            store.commit(tx).unwrap();
+        }
+        let stats = TransactionalKV::stats(&store);
+        assert_eq!(stats.keys, 1);
+        assert_eq!(stats.versions, 4);
+        assert_eq!(stats.lock_entries, 0, "MVTO+ has no interval locks");
+        let (removed, locks) = TransactionalKV::purge_below(&store, Timestamp::MAX);
+        assert_eq!((removed, locks), (3, 0));
+        assert_eq!(TransactionalKV::stats(&store).purged_versions, 3);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! The string-spec registry in the `mvtl-registry` crate builds
 //! `Box<dyn Engine<V>>` values from specs like `"mvtil-early?delta=1000"`.
 
-use crate::kv::CommitInfo;
+use crate::kv::{CommitInfo, StoreStats};
 use crate::{Key, ProcessId, Timestamp, TransactionalKV, TxError};
 use std::marker::PhantomData;
 use std::time::Duration;
@@ -146,6 +146,33 @@ pub trait Engine<V>: Send + Sync {
     /// The `mvtl-registry` crate guarantees that this matches the base name of
     /// the spec the engine was built from.
     fn name(&self) -> &'static str;
+
+    // --- Maintenance surface (§6 / §8.1) ------------------------------------
+    //
+    // Mirrors [`TransactionalKV`]'s maintenance methods through the
+    // object-safe layer, so a garbage collector (`mvtl-gc`) can drive any
+    // `dyn Engine<V>` without knowing the concrete store type. The blanket
+    // impl forwards to the engine's `TransactionalKV` implementation.
+
+    /// Aggregate state-size statistics (keys, versions, lock entries).
+    fn stats(&self) -> StoreStats {
+        StoreStats::default()
+    }
+
+    /// Purges versions and lock state older than `bound` (§6). Returns
+    /// `(versions_removed, lock_entries_removed)`. Safe only at or below
+    /// [`Engine::low_watermark`] (plus caller-maintained slack); transactions
+    /// that still need purged state abort with `VersionPurged`.
+    fn purge_below(&self, bound: Timestamp) -> (usize, usize) {
+        let _ = bound;
+        (0, 0)
+    }
+
+    /// The smallest timestamp any in-flight transaction may still anchor a
+    /// read on, or `None` when no transaction is active (or untracked).
+    fn low_watermark(&self) -> Option<Timestamp> {
+        None
+    }
 }
 
 /// Adapter giving every [`TransactionalKV`] engine the object-safe [`Engine`]
@@ -194,6 +221,18 @@ where
 
     fn name(&self) -> &'static str {
         TransactionalKV::name(self)
+    }
+
+    fn stats(&self) -> StoreStats {
+        TransactionalKV::stats(self)
+    }
+
+    fn purge_below(&self, bound: Timestamp) -> (usize, usize) {
+        TransactionalKV::purge_below(self, bound)
+    }
+
+    fn low_watermark(&self) -> Option<Timestamp> {
+        TransactionalKV::low_watermark(self)
     }
 }
 

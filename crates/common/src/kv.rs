@@ -9,6 +9,48 @@
 
 use crate::{AbortReason, Key, ProcessId, Timestamp, TxError, TxId};
 
+/// Aggregate state-size statistics of an engine, used by the Figure 6
+/// experiments ("number of locks and versions as time passes") and by the
+/// garbage collector's bounded-state checks.
+///
+/// Engines that have no multiversion state (e.g. single-version 2PL) report
+/// the parts they track and leave the rest zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of keys that currently own engine state (cells).
+    pub keys: usize,
+    /// Total committed versions currently stored.
+    pub versions: usize,
+    /// Total versions removed by purging so far.
+    pub purged_versions: usize,
+    /// Total interval lock entries currently stored.
+    pub lock_entries: usize,
+    /// How many of those lock entries are frozen.
+    pub frozen_lock_entries: usize,
+}
+
+impl StoreStats {
+    /// The resident state an engine accumulates over time: stored versions
+    /// plus lock entries. This is the quantity the §6 garbage collector must
+    /// keep bounded.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.versions + self.lock_entries
+    }
+
+    /// Component-wise sum, for aggregating across shards.
+    #[must_use]
+    pub fn merge(self, other: StoreStats) -> StoreStats {
+        StoreStats {
+            keys: self.keys + other.keys,
+            versions: self.versions + other.versions,
+            purged_versions: self.purged_versions + other.purged_versions,
+            lock_entries: self.lock_entries + other.lock_entries,
+            frozen_lock_entries: self.frozen_lock_entries + other.frozen_lock_entries,
+        }
+    }
+}
+
 /// Information reported by a successful commit.
 ///
 /// Besides the commit timestamp, engines report the exact versions read and the
@@ -126,6 +168,41 @@ pub trait TransactionalKV<V>: Send + Sync {
 
     /// A short human-readable name for reports ("mvtil-early", "mvto+", "2pl", ...).
     fn name(&self) -> &'static str;
+
+    // --- Maintenance surface (§6 / §8.1: the timestamp service) ------------
+    //
+    // These default-implemented methods are what a garbage collector needs
+    // from an engine. Engines without purgeable state keep the no-op
+    // defaults; multiversion engines override all three.
+
+    /// Aggregate state-size statistics (keys, versions, lock entries).
+    ///
+    /// The default reports all zeros, for engines that track no such state.
+    fn stats(&self) -> StoreStats {
+        StoreStats::default()
+    }
+
+    /// Purges versions and lock state older than `bound`, keeping the most
+    /// recent version of each key so that reads at or above `bound` still
+    /// succeed (§6). Returns `(versions_removed, lock_entries_removed)`.
+    ///
+    /// Purging is only *safe* when `bound` does not exceed the engine's
+    /// [`low_watermark`](TransactionalKV::low_watermark) (plus any slack the
+    /// caller maintains); a transaction that still needs a purged version
+    /// aborts with [`AbortReason::VersionPurged`] rather than reading stale
+    /// or missing data. The default is a no-op.
+    fn purge_below(&self, bound: Timestamp) -> (usize, usize) {
+        let _ = bound;
+        (0, 0)
+    }
+
+    /// The smallest timestamp any in-flight transaction may still anchor a
+    /// read on, or `None` when no transaction is active (or the engine does
+    /// not track one). A garbage collector must not purge at or above this
+    /// bound without risking `VersionPurged` aborts of live transactions.
+    fn low_watermark(&self) -> Option<Timestamp> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -26,6 +26,9 @@
 //!   the [`EngineExt::run`] retry loop. `Box<dyn Engine<V>>` is what the
 //!   string-spec registry (`mvtl-registry`) hands out and what every consumer
 //!   drives.
+//! * [`watermark`] — the [`ActiveTxnRegistry`]: in-flight transactions pin the
+//!   timestamps they anchor reads on, and its low watermark tells the garbage
+//!   collector (`mvtl-gc`) how far state can safely be purged (§6).
 //!
 //! # Example
 //!
@@ -50,13 +53,15 @@ pub mod kv;
 pub mod ops;
 mod timestamp;
 mod tsset;
+pub mod watermark;
 
 pub use engine::{Engine, EngineExt, RetryOptions, RunReport, Transaction, TxHandle};
 pub use error::{AbortReason, TxError};
 pub use ids::{Key, ProcessId, TxId};
-pub use kv::{CommitInfo, TransactionalKV, TxOutcome};
+pub use kv::{CommitInfo, StoreStats, TransactionalKV, TxOutcome};
 pub use timestamp::{Timestamp, TsRange};
 pub use tsset::TsSet;
+pub use watermark::{ActiveTxnRegistry, TxnPin};
 
 /// The status of a transaction, from the point of view of any engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

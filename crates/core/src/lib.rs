@@ -73,6 +73,7 @@ mod store;
 mod txn;
 
 pub use config::MvtlConfig;
+pub use mvtl_common::StoreStats;
 pub use policy::{LockingPolicy, PolicyCtx, ReadGrant};
-pub use store::{MvtlStore, PreparedCommit, StoreStats};
+pub use store::{MvtlStore, PreparedCommit};
 pub use txn::{MvtlTransaction, TxState};

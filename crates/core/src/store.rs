@@ -6,8 +6,8 @@ use crate::txn::{HeldLocks, MvtlTransaction, TxState};
 use crate::MvtlConfig;
 use mvtl_clock::ClockSource;
 use mvtl_common::{
-    AbortReason, CommitInfo, Key, LockMode, ProcessId, Timestamp, TransactionalKV, TsRange, TsSet,
-    TxError, TxStatus,
+    AbortReason, ActiveTxnRegistry, CommitInfo, Key, LockMode, ProcessId, StoreStats, Timestamp,
+    TransactionalKV, TsRange, TsSet, TxError, TxStatus,
 };
 use parking_lot::RwLock;
 use std::collections::hash_map::DefaultHasher;
@@ -15,22 +15,6 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
-
-/// Aggregate state-size statistics of a store, used by the Figure 6 experiment
-/// ("number of locks and versions as time passes").
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StoreStats {
-    /// Number of keys that have been touched at least once.
-    pub keys: usize,
-    /// Total committed versions currently stored.
-    pub versions: usize,
-    /// Total versions removed by purging so far.
-    pub purged_versions: usize,
-    /// Total interval lock entries currently stored.
-    pub lock_entries: usize,
-    /// How many of those lock entries are frozen.
-    pub frozen_lock_entries: usize,
-}
 
 /// A transaction that passed the participant half of the §7 distributed
 /// commit on one [`MvtlStore`]: commit-time locks are acquired and the
@@ -72,6 +56,10 @@ pub struct MvtlStore<V, P> {
     clock: Arc<dyn ClockSource>,
     config: MvtlConfig,
     shards: Vec<RwLock<HashMap<Key, Arc<KeyCell<V>>>>>,
+    /// In-flight transactions and the lowest timestamp each may still anchor
+    /// a read on; its minimum is the store's GC [low
+    /// watermark](MvtlStore::low_watermark).
+    active: ActiveTxnRegistry,
 }
 
 impl<V, P> MvtlStore<V, P>
@@ -90,6 +78,7 @@ where
             clock,
             config,
             shards,
+            active: ActiveTxnRegistry::new(),
         }
     }
 
@@ -117,6 +106,20 @@ where
         let mut state = TxState::new(process, pinned);
         state.priority = priority;
         self.policy.init(self, &mut state);
+        // Register the transaction with the GC watermark. The pin must not
+        // exceed any timestamp the transaction might anchor a read on, so take
+        // the minimum of everything the policy set up at init: its start
+        // timestamp and its candidate set (ε-clock reaches ε below "now",
+        // MVTL-Pref can carry negative offsets).
+        let mut pin_ts = state.start_ts.or(pinned).unwrap_or(Timestamp::MAX);
+        if let Some(lo) = state.ts_set.min() {
+            pin_ts = pin_ts.min(lo);
+        }
+        if pin_ts == Timestamp::MAX {
+            // No policy hint at all: fall back to a fresh clock reading.
+            pin_ts = self.clock.timestamp(process);
+        }
+        state.gc_pin = Some(self.active.register(pin_ts));
         MvtlTransaction::new(state)
     }
 
@@ -150,9 +153,32 @@ where
                 if version.is_zero() {
                     return Ok(None);
                 }
+                // The policy anchored on `version` under the cell latch, but
+                // the latch was released before we get here, so a concurrent
+                // `purge_below` may have removed the selected version in the
+                // window. A missing version for a non-zero anchor therefore
+                // means "purged", never "⊥": returning a silent `None` here
+                // would fabricate an empty read of a key that has a committed
+                // value. Abort with `VersionPurged` instead (§6: transactions
+                // that need purged state must abort).
                 let cell = self.cell(key);
-                let data = cell.data.lock();
-                Ok(data.versions.at(version).cloned())
+                let fetched = {
+                    let data = cell.data.lock();
+                    match data.versions.at(version) {
+                        Some(value) => Ok(value.clone()),
+                        None => Err(data.versions.purged_below()),
+                    }
+                };
+                match fetched {
+                    Ok(value) => Ok(Some(value)),
+                    Err(purged_below) => {
+                        self.abort_internal(&mut txn.state);
+                        Err(TxError::aborted(AbortReason::VersionPurged {
+                            key,
+                            below: purged_below.max(version.succ()),
+                        }))
+                    }
+                }
             }
             Err(err) => {
                 self.abort_internal(&mut txn.state);
@@ -297,6 +323,9 @@ where
         }
         txn.state.status = TxStatus::Committed;
         txn.state.commit_ts = Some(commit_ts);
+        if let Some(pin) = txn.state.gc_pin.take() {
+            self.active.deregister(pin);
+        }
         // Line 21: optional garbage collection.
         if self.policy.commit_gc(&txn.state) {
             self.gc_transaction(&txn.state, commit_ts);
@@ -361,6 +390,9 @@ where
             cell.notify();
         }
         tx.status = TxStatus::Aborted;
+        if let Some(pin) = tx.gc_pin.take() {
+            self.active.deregister(pin);
+        }
     }
 
     /// The candidate commit timestamps of Algorithm 1 line 13: timestamps `t`
@@ -403,20 +435,79 @@ where
     /// Purges versions (and the associated lock state) older than `bound`,
     /// keeping the most recent version of each key (§6, §8.1). Returns the
     /// number of versions and lock entries removed.
+    ///
+    /// Purging is only *safe* (no `VersionPurged` aborts of live
+    /// transactions) when `bound` does not exceed
+    /// [`MvtlStore::low_watermark`]; the `mvtl-gc` service maintains that
+    /// invariant automatically. Cells whose version chain is empty (only the
+    /// implicit `⊥`) and whose lock table is empty after the purge are
+    /// removed from the key map entirely, so keys that were only ever read —
+    /// or whose writers all aborted — stop occupying memory.
     pub fn purge_below(&self, bound: Timestamp) -> (usize, usize) {
         let mut versions_removed = 0;
         let mut locks_removed = 0;
         for shard in &self.shards {
-            let cells: Vec<Arc<KeyCell<V>>> = shard.read().values().cloned().collect();
-            for cell in cells {
+            let cells: Vec<(Key, Arc<KeyCell<V>>)> = shard
+                .read()
+                .iter()
+                .map(|(k, c)| (*k, Arc::clone(c)))
+                .collect();
+            let mut reclaimable: Vec<Key> = Vec::new();
+            for (key, cell) in cells {
                 let mut data = cell.data.lock();
                 versions_removed += data.versions.purge_below(bound);
                 locks_removed += data.locks.purge_below(bound);
+                let empty = data.versions.is_empty() && data.locks.is_empty();
                 drop(data);
                 cell.notify();
+                drop(cell);
+                if empty {
+                    reclaimable.push(key);
+                }
+            }
+            if reclaimable.is_empty() {
+                continue;
+            }
+            // Reclaim empty cells. Re-check under the shard *write* lock:
+            // `cell()` clones the Arc under the shard read lock, so while we
+            // hold the write lock a strong count of 1 proves no in-flight
+            // transaction holds a reference (and none can appear), and
+            // re-checking emptiness rules out state installed since the scan.
+            // Anyone who looks the key up later simply gets a fresh cell.
+            let mut map = shard.write();
+            for key in reclaimable {
+                let remove = match map.get(&key) {
+                    Some(cell) => {
+                        Arc::strong_count(cell) == 1 && {
+                            let data = cell.data.lock();
+                            data.versions.is_empty() && data.locks.is_empty()
+                        }
+                    }
+                    None => false,
+                };
+                if remove {
+                    map.remove(&key);
+                }
             }
         }
         (versions_removed, locks_removed)
+    }
+
+    /// The smallest timestamp any in-flight transaction may still anchor a
+    /// read on, or `None` when no transaction is active. Purging strictly
+    /// below this bound can never abort a live transaction of a policy whose
+    /// reads anchor at or above its begin-time state (every policy shipped
+    /// here; the registered pin already accounts for ε-clock and
+    /// negative-offset Pref windows).
+    #[must_use]
+    pub fn low_watermark(&self) -> Option<Timestamp> {
+        self.active.low_watermark()
+    }
+
+    /// Number of transactions currently registered as in flight.
+    #[must_use]
+    pub fn active_transactions(&self) -> usize {
+        self.active.active_count()
     }
 
     /// Aggregate state-size statistics across all keys.
@@ -643,6 +734,18 @@ where
     fn name(&self) -> &'static str {
         self.policy.name()
     }
+
+    fn stats(&self) -> StoreStats {
+        MvtlStore::stats(self)
+    }
+
+    fn purge_below(&self, bound: Timestamp) -> (usize, usize) {
+        MvtlStore::purge_below(self, bound)
+    }
+
+    fn low_watermark(&self) -> Option<Timestamp> {
+        MvtlStore::low_watermark(self)
+    }
 }
 
 #[cfg(test)]
@@ -766,5 +869,95 @@ mod tests {
         let mut tx = s.begin(ProcessId(0));
         assert_eq!(s.read(&mut tx, Key(1)).unwrap(), Some(2));
         s.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn low_watermark_tracks_active_transactions() {
+        let s = store();
+        assert_eq!(s.low_watermark(), None);
+        let tx1 = s.begin(ProcessId(1));
+        let tx2 = s.begin(ProcessId(2));
+        let wm = s.low_watermark().expect("two active transactions");
+        let pin1 = tx1.state().start_ts.unwrap();
+        assert!(wm <= pin1, "watermark at or below the oldest pin");
+        assert_eq!(s.active_transactions(), 2);
+        s.abort(tx1);
+        let wm2 = s.low_watermark().expect("tx2 still active");
+        assert!(wm2 >= wm, "watermark advances monotonically here");
+        s.commit(tx2).unwrap();
+        assert_eq!(s.low_watermark(), None);
+        assert_eq!(s.active_transactions(), 0);
+    }
+
+    #[test]
+    fn failed_commits_release_the_watermark_pin() {
+        let s = store();
+        let mut tx = s.begin(ProcessId(0));
+        s.write(&mut tx, Key(1), 1).unwrap();
+        let prepared = s.prepare_commit(tx).unwrap();
+        assert_eq!(s.active_transactions(), 1, "prepared txns stay pinned");
+        let outside = prepared.interval().max().unwrap().succ();
+        assert!(s.commit_prepared(prepared, outside).is_err());
+        assert_eq!(s.active_transactions(), 0);
+    }
+
+    #[test]
+    fn purge_reclaims_read_only_and_aborted_cells() {
+        let s = store();
+        // A committed write on one key, plus cells created by a pure read and
+        // by an aborted writer.
+        let mut tx = s.begin(ProcessId(0));
+        s.write(&mut tx, Key(1), 7).unwrap();
+        s.commit(tx).unwrap();
+        let mut tx = s.begin(ProcessId(0));
+        assert_eq!(s.read(&mut tx, Key(2)).unwrap(), None);
+        s.commit(tx).unwrap();
+        // ToPolicy locks writes only at commit, so an aborted writer leaves a
+        // cell behind only if it also read the key.
+        let mut tx = s.begin(ProcessId(0));
+        assert_eq!(s.read(&mut tx, Key(3)).unwrap(), None);
+        s.write(&mut tx, Key(3), 9).unwrap();
+        s.abort(tx);
+        assert_eq!(s.stats().keys, 3);
+        let _ = s.purge_below(Timestamp::MAX);
+        // Keys 2 and 3 carry no versions and no locks any more: their cells
+        // are reclaimed. Key 1 keeps its latest version.
+        let stats = s.stats();
+        assert_eq!(stats.keys, 1);
+        assert_eq!(stats.versions, 1);
+        let mut tx = s.begin(ProcessId(0));
+        assert_eq!(s.read(&mut tx, Key(1)).unwrap(), Some(7));
+        assert_eq!(s.read(&mut tx, Key(2)).unwrap(), None);
+        s.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn purged_anchor_reads_abort_instead_of_returning_silent_none() {
+        // Reproduce the purge/read race deterministically: anchor a read on
+        // an old version by pinning the reader in the past, purge that
+        // version, then fetch. The read must abort with `VersionPurged`, not
+        // return `Ok(None)` for a key that has committed values.
+        let s = store();
+        let mut tx = s.begin(ProcessId(0));
+        s.write(&mut tx, Key(1), 1).unwrap();
+        let first = s.commit(tx).unwrap().commit_ts.unwrap();
+        for round in 2..=3u64 {
+            let mut tx = s.begin(ProcessId(0));
+            s.write(&mut tx, Key(1), round).unwrap();
+            s.commit(tx).unwrap();
+        }
+        // A reader pinned just above the first commit anchors on that oldest
+        // version; purging everything below MAX (manual, watermark-ignoring)
+        // removes it. The read must abort, never report `Ok(None)`.
+        let mut reader = s.begin_with(ProcessId(1), Some(first.succ()), false);
+        let _ = s.purge_below(Timestamp::MAX);
+        let err = s.read(&mut reader, Key(1)).unwrap_err();
+        assert!(
+            matches!(
+                err.abort_reason(),
+                Some(AbortReason::VersionPurged { key, .. }) if *key == Key(1)
+            ),
+            "expected VersionPurged, got {err:?}"
+        );
     }
 }

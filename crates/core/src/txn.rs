@@ -1,6 +1,6 @@
 //! Per-transaction state.
 
-use mvtl_common::{Key, ProcessId, Timestamp, TsSet, TxId, TxStatus};
+use mvtl_common::{Key, ProcessId, Timestamp, TsSet, TxId, TxStatus, TxnPin};
 use std::collections::HashMap;
 
 /// Locks a transaction holds on one key, as recorded on the transaction side.
@@ -59,6 +59,9 @@ pub struct TxState {
     pub pinned: Option<Timestamp>,
     /// The commit timestamp assigned when the transaction committed.
     pub commit_ts: Option<Timestamp>,
+    /// Ticket in the store's active-transaction registry; taken back by the
+    /// store when the transaction ends, so the GC watermark can advance.
+    pub(crate) gc_pin: Option<TxnPin>,
 }
 
 impl TxState {
@@ -78,6 +81,7 @@ impl TxState {
             priority: false,
             pinned,
             commit_ts: None,
+            gc_pin: None,
         }
     }
 

@@ -1,0 +1,621 @@
+//! # mvtl-gc
+//!
+//! The watermark-safe background garbage collector for the real (threaded)
+//! engines: the in-process analogue of the paper's §6 / §8.1 **timestamp
+//! service**.
+//!
+//! The paper argues MVTL is practical because versions and locks do not have
+//! to be kept forever: a service periodically announces a timestamp bound, old
+//! state below the bound is purged, and the rare transaction that still needs
+//! purged state aborts. The discrete-event simulator (`mvtl-sim`) reproduces
+//! that for Figures 6–7; this crate does it for the real engines:
+//!
+//! * [`GcService`] — owns a background thread that, every
+//!   [`GcConfig::interval`], purges a [`SweepTarget`] below
+//!   `min(low_watermark, now − gc_lag)`:
+//!   * `low_watermark` is the engine's active-transaction watermark — the
+//!     smallest timestamp an in-flight transaction may still anchor a read
+//!     on. Never purging at or above it means a sweep cannot abort a live
+//!     transaction.
+//!   * `now − gc_lag` is a *lagged clock sample*: the service remembers
+//!     `(wall instant, clock reading)` pairs and purges below the reading
+//!     taken at least [`GcConfig::lag`] ago, so the bound stays meaningful
+//!     for any [`ClockSource`] (a logical counter has no notion of "50 ms
+//!     ago" by itself). The lag keeps freshly committed versions readable by
+//!     transactions that begin right after a sweep.
+//!
+//!   The thread shuts down cleanly when the service is dropped.
+//! * [`GcEngine`] — pairs any [`TransactionalKV`] engine with its
+//!   `GcService` and delegates the whole transactional surface, so it *is*
+//!   an engine (including the object-safe `Engine` layer via the blanket
+//!   impl). This is what the `mvtl-registry` crate hands out for specs like
+//!   `"mvtil-early?gc_ms=100&gc_lag_ms=50"` (and
+//!   `"sharded?shards=8&gc_ms=100"`, where one service sweeps all shards
+//!   through the sharded store's aggregated watermark).
+//!
+//! # Example
+//!
+//! ```
+//! use mvtl_clock::{ClockSource, GlobalClock};
+//! use mvtl_common::{EngineExt, Key, ProcessId};
+//! use mvtl_core::{policy::ToPolicy, MvtlConfig, MvtlStore};
+//! use mvtl_gc::{GcConfig, GcEngine};
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let clock = Arc::new(GlobalClock::new());
+//! let store = Arc::new(MvtlStore::new(
+//!     ToPolicy::new(),
+//!     clock.clone() as Arc<dyn ClockSource>,
+//!     MvtlConfig::default(),
+//! ));
+//! let engine = GcEngine::spawn(
+//!     store,
+//!     clock,
+//!     GcConfig::default().with_interval(Duration::from_millis(5)),
+//! );
+//! let mut tx = EngineExt::begin(&engine, ProcessId(1));
+//! tx.write(Key(1), 42u64).unwrap();
+//! tx.commit().unwrap();
+//! // Dropping `engine` stops the background sweeper.
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mvtl_clock::ClockSource;
+use mvtl_common::{
+    CommitInfo, Engine, Key, ProcessId, StoreStats, Timestamp, TransactionalKV, TxError,
+};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The process id GC sweeps read the clock as. Distinct from workload client
+/// ids (which count up from 0) so per-process clock sources are unaffected.
+const GC_PROCESS: ProcessId = ProcessId(u32::MAX);
+
+/// Configuration of a [`GcService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcConfig {
+    /// How often the background thread sweeps.
+    pub interval: Duration,
+    /// Wall-clock slack kept behind the current clock reading: a sweep purges
+    /// below the clock sample taken at least this long ago (further capped by
+    /// the engine's low watermark). Larger lags keep more history readable
+    /// for transactions that begin between sweeps.
+    pub lag: Duration,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            interval: Duration::from_millis(100),
+            lag: Duration::from_millis(50),
+        }
+    }
+}
+
+impl GcConfig {
+    /// The service configuration an [`MvtlConfig`](mvtl_core::MvtlConfig)
+    /// asks for, when it asks for one: `None` when `gc_interval` is unset
+    /// (no background GC), otherwise the store's interval and lag. This is
+    /// how the store-level knobs become the single source of truth for the
+    /// service — the registry derives the spawned service's configuration
+    /// from the store config it built.
+    #[must_use]
+    pub fn from_store_config(config: &mvtl_core::MvtlConfig) -> Option<GcConfig> {
+        config.gc_interval.map(|interval| GcConfig {
+            interval,
+            lag: config.gc_lag,
+        })
+    }
+
+    /// Returns a configuration with the given sweep interval.
+    #[must_use]
+    pub fn with_interval(mut self, interval: Duration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Returns a configuration with the given clock lag.
+    #[must_use]
+    pub fn with_lag(mut self, lag: Duration) -> Self {
+        self.lag = lag;
+        self
+    }
+}
+
+/// A snapshot of a [`GcService`]'s counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Sweeps performed (including ones that found nothing to purge).
+    pub sweeps: u64,
+    /// Sweeps that computed a purge bound and called `purge_below`.
+    pub purges: u64,
+    /// Total versions removed so far.
+    pub versions_purged: u64,
+    /// Total lock entries removed so far.
+    pub lock_entries_purged: u64,
+}
+
+/// What the sweeper needs from an engine: its watermark and its purge hook.
+///
+/// Blanket-provided for `Arc<dyn Engine<V>>`; [`GcService::spawn_for`] and
+/// [`GcEngine::spawn`] adapt any [`TransactionalKV`] store internally.
+pub trait SweepTarget: Send + Sync + 'static {
+    /// The smallest timestamp any in-flight transaction may still anchor a
+    /// read on, or `None` when nothing is active (or untracked).
+    fn low_watermark(&self) -> Option<Timestamp>;
+
+    /// Purges versions and lock state older than `bound`. Returns
+    /// `(versions_removed, lock_entries_removed)`.
+    fn purge_below(&self, bound: Timestamp) -> (usize, usize);
+}
+
+impl<V: 'static> SweepTarget for Arc<dyn Engine<V>> {
+    fn low_watermark(&self) -> Option<Timestamp> {
+        Engine::low_watermark(self.as_ref())
+    }
+
+    fn purge_below(&self, bound: Timestamp) -> (usize, usize) {
+        Engine::purge_below(self.as_ref(), bound)
+    }
+}
+
+/// Adapter from a concrete [`TransactionalKV`] store to a [`SweepTarget`].
+struct KvTarget<V, S> {
+    engine: Arc<S>,
+    _values: PhantomData<fn() -> V>,
+}
+
+impl<V, S> SweepTarget for KvTarget<V, S>
+where
+    V: 'static,
+    S: TransactionalKV<V> + 'static,
+{
+    fn low_watermark(&self) -> Option<Timestamp> {
+        self.engine.low_watermark()
+    }
+
+    fn purge_below(&self, bound: Timestamp) -> (usize, usize) {
+        self.engine.purge_below(bound)
+    }
+}
+
+#[derive(Default)]
+struct GcShared {
+    stop: Mutex<bool>,
+    wake: Condvar,
+    sweeps: AtomicU64,
+    purges: AtomicU64,
+    versions_purged: AtomicU64,
+    lock_entries_purged: AtomicU64,
+}
+
+/// A background thread that periodically purges an engine below
+/// `min(low_watermark, now − lag)`. Stops (and joins the thread) on drop.
+pub struct GcService {
+    shared: Arc<GcShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl GcService {
+    /// Spawns the sweeper over an explicit [`SweepTarget`], reading purge
+    /// bounds from `clock`.
+    ///
+    /// The target is owned by the thread, so whatever it references stays
+    /// alive at least as long as the service; dropping the service stops the
+    /// thread before it could observe a half-dropped engine.
+    #[must_use]
+    pub fn spawn(
+        target: Box<dyn SweepTarget>,
+        clock: Arc<dyn ClockSource>,
+        config: GcConfig,
+    ) -> GcService {
+        let shared = Arc::new(GcShared::default());
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("mvtl-gc".to_string())
+            .spawn(move || Self::run(&thread_shared, target.as_ref(), clock.as_ref(), config))
+            .expect("spawn GC thread");
+        GcService {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Spawns the sweeper for a shared [`TransactionalKV`] store (any real
+    /// engine: `MvtlStore`, `ShardedStore`, the baselines).
+    #[must_use]
+    pub fn spawn_for<V, S>(
+        engine: Arc<S>,
+        clock: Arc<dyn ClockSource>,
+        config: GcConfig,
+    ) -> GcService
+    where
+        V: 'static,
+        S: TransactionalKV<V> + 'static,
+    {
+        GcService::spawn(
+            Box::new(KvTarget {
+                engine,
+                _values: PhantomData,
+            }),
+            clock,
+            config,
+        )
+    }
+
+    fn run(shared: &GcShared, target: &dyn SweepTarget, clock: &dyn ClockSource, config: GcConfig) {
+        // (wall instant, clock reading) samples, oldest first. The front is
+        // kept as the newest sample that is at least `lag` old, which is the
+        // lag-derived part of the purge bound.
+        let mut samples: VecDeque<(Instant, Timestamp)> = VecDeque::new();
+        loop {
+            {
+                let guard = shared.stop.lock().expect("GC stop mutex poisoned");
+                if *guard {
+                    return;
+                }
+                let (guard, _timeout) = shared
+                    .wake
+                    .wait_timeout(guard, config.interval)
+                    .expect("GC stop mutex poisoned");
+                if *guard {
+                    return;
+                }
+            }
+            shared.sweeps.fetch_add(1, Ordering::Relaxed);
+            let now_wall = Instant::now();
+            samples.push_back((now_wall, clock.timestamp(GC_PROCESS)));
+            while samples.len() >= 2 && now_wall.duration_since(samples[1].0) >= config.lag {
+                samples.pop_front();
+            }
+            let lagged = samples
+                .front()
+                .filter(|(taken, _)| now_wall.duration_since(*taken) >= config.lag)
+                .map(|(_, ts)| *ts);
+            let Some(mut bound) = lagged else {
+                // The service is younger than the lag: nothing is old enough
+                // to purge yet.
+                continue;
+            };
+            if let Some(watermark) = target.low_watermark() {
+                bound = bound.min(watermark);
+            }
+            let (versions, locks) = target.purge_below(bound);
+            shared.purges.fetch_add(1, Ordering::Relaxed);
+            shared
+                .versions_purged
+                .fetch_add(versions as u64, Ordering::Relaxed);
+            shared
+                .lock_entries_purged
+                .fetch_add(locks as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// A snapshot of the service's counters.
+    #[must_use]
+    pub fn stats(&self) -> GcStats {
+        GcStats {
+            sweeps: self.shared.sweeps.load(Ordering::Relaxed),
+            purges: self.shared.purges.load(Ordering::Relaxed),
+            versions_purged: self.shared.versions_purged.load(Ordering::Relaxed),
+            lock_entries_purged: self.shared.lock_entries_purged.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the background thread and waits for it to exit. Called
+    /// automatically on drop; explicit calls are idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let mut stop = self.shared.stop.lock().expect("GC stop mutex poisoned");
+            *stop = true;
+        }
+        self.shared.wake.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for GcService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for GcService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GcService")
+            .field("running", &self.handle.is_some())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// An engine paired with the [`GcService`] that sweeps it: state stays
+/// bounded for as long as the wrapper lives, and the sweeper stops when the
+/// wrapper is dropped.
+///
+/// `GcEngine` delegates the whole [`TransactionalKV`] surface to the wrapped
+/// store, so the blanket impl in `mvtl-common` gives it the object-safe
+/// `Engine` layer for free — `Box<dyn Engine<V>>` works, which is how the
+/// registry returns it for specs carrying `gc_ms`.
+pub struct GcEngine<V, S> {
+    inner: Arc<S>,
+    service: GcService,
+    _values: PhantomData<fn() -> V>,
+}
+
+impl<V, S> GcEngine<V, S>
+where
+    V: 'static,
+    S: TransactionalKV<V> + 'static,
+{
+    /// Wraps `inner` and spawns its sweeper.
+    #[must_use]
+    pub fn spawn(inner: Arc<S>, clock: Arc<dyn ClockSource>, config: GcConfig) -> GcEngine<V, S> {
+        let service = GcService::spawn_for(Arc::clone(&inner), clock, config);
+        GcEngine {
+            inner,
+            service,
+            _values: PhantomData,
+        }
+    }
+
+    /// The garbage-collection service sweeping this engine.
+    #[must_use]
+    pub fn service(&self) -> &GcService {
+        &self.service
+    }
+
+    /// The wrapped engine.
+    #[must_use]
+    pub fn inner(&self) -> &Arc<S> {
+        &self.inner
+    }
+}
+
+impl<V, S> TransactionalKV<V> for GcEngine<V, S>
+where
+    V: 'static,
+    S: TransactionalKV<V> + 'static,
+{
+    type Txn = S::Txn;
+
+    fn begin_at(&self, process: ProcessId, pinned: Option<Timestamp>) -> Self::Txn {
+        self.inner.begin_at(process, pinned)
+    }
+
+    fn read(&self, txn: &mut Self::Txn, key: Key) -> Result<Option<V>, TxError> {
+        self.inner.read(txn, key)
+    }
+
+    fn write(&self, txn: &mut Self::Txn, key: Key, value: V) -> Result<(), TxError> {
+        self.inner.write(txn, key, value)
+    }
+
+    fn commit(&self, txn: Self::Txn) -> Result<CommitInfo, TxError> {
+        self.inner.commit(txn)
+    }
+
+    fn abort(&self, txn: Self::Txn) {
+        self.inner.abort(txn);
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.inner.stats()
+    }
+
+    fn purge_below(&self, bound: Timestamp) -> (usize, usize) {
+        self.inner.purge_below(bound)
+    }
+
+    fn low_watermark(&self) -> Option<Timestamp> {
+        self.inner.low_watermark()
+    }
+}
+
+impl<V, S: TransactionalKV<V>> std::fmt::Debug for GcEngine<V, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GcEngine")
+            .field("engine", &self.inner.name())
+            .field("service", &self.service)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvtl_common::{EngineExt, Key};
+    use mvtl_core::policy::ToPolicy;
+    use mvtl_core::{MvtlConfig, MvtlStore};
+
+    type Store = MvtlStore<u64, ToPolicy>;
+
+    fn store_and_clock() -> (Arc<Store>, Arc<mvtl_clock::GlobalClock>) {
+        let clock = Arc::new(mvtl_clock::GlobalClock::new());
+        let store = Arc::new(MvtlStore::new(
+            ToPolicy::new(),
+            clock.clone() as Arc<dyn ClockSource>,
+            MvtlConfig::default(),
+        ));
+        (store, clock)
+    }
+
+    fn wait_until(mut predicate: impl FnMut() -> bool) -> bool {
+        for _ in 0..500 {
+            if predicate() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+
+    fn churn(engine: &dyn Engine<u64>, key: Key, rounds: u64) {
+        for round in 0..rounds {
+            let mut tx = engine.begin(ProcessId(1));
+            tx.write(key, round).unwrap();
+            tx.commit().unwrap();
+        }
+    }
+
+    fn fast_gc() -> GcConfig {
+        GcConfig {
+            interval: Duration::from_millis(2),
+            lag: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn service_config_derives_from_the_store_config() {
+        assert_eq!(GcConfig::from_store_config(&MvtlConfig::default()), None);
+        let config = MvtlConfig::default()
+            .with_gc_interval(Some(Duration::from_millis(25)))
+            .with_gc_lag(Duration::from_millis(7));
+        assert_eq!(
+            GcConfig::from_store_config(&config),
+            Some(GcConfig {
+                interval: Duration::from_millis(25),
+                lag: Duration::from_millis(7),
+            })
+        );
+    }
+
+    #[test]
+    fn service_purges_old_versions_down_to_one() {
+        let (store, clock) = store_and_clock();
+        let engine: Arc<dyn Engine<u64>> = store.clone();
+        let service = GcService::spawn(
+            Box::new(Arc::clone(&engine)),
+            clock as Arc<dyn ClockSource>,
+            fast_gc(),
+        );
+        churn(engine.as_ref(), Key(1), 32);
+        assert!(
+            wait_until(|| engine.stats().versions <= 1),
+            "GC must shrink the chain to the latest version, stats: {:?}",
+            engine.stats()
+        );
+        assert!(service.stats().versions_purged >= 31);
+        assert!(service.stats().purges > 0);
+        // The latest value survives.
+        let mut tx = engine.as_ref().begin(ProcessId(2));
+        assert_eq!(tx.read(Key(1)).unwrap(), Some(31));
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn watermark_protects_versions_needed_by_active_transactions() {
+        let (store, clock) = store_and_clock();
+        let engine: Arc<dyn Engine<u64>> = store.clone();
+        let _service = GcService::spawn(
+            Box::new(Arc::clone(&engine)),
+            clock as Arc<dyn ClockSource>,
+            fast_gc(),
+        );
+        churn(engine.as_ref(), Key(1), 4);
+        // An in-flight reader anchors the watermark before further churn.
+        let mut reader = TransactionalKV::begin(store.as_ref(), ProcessId(7));
+        assert_eq!(store.read(&mut reader, Key(1)).unwrap(), Some(3));
+        churn(engine.as_ref(), Key(1), 8);
+        // Sweeps run, but the bound is capped at the reader's pin: the three
+        // versions strictly below the reader's anchor are purged, while the
+        // anchor itself and everything above it must survive.
+        assert!(
+            wait_until(|| engine.stats().purged_versions >= 3),
+            "stats: {:?}",
+            engine.stats()
+        );
+        assert!(
+            engine.stats().versions >= 9,
+            "versions the reader may re-read were purged: {:?}",
+            engine.stats()
+        );
+        // A re-read under the same transaction still sees its version.
+        assert_eq!(store.read(&mut reader, Key(1)).unwrap(), Some(3));
+        store.commit(reader).unwrap();
+        // With the pin gone the chain shrinks to the latest version.
+        assert!(
+            wait_until(|| engine.stats().versions <= 1),
+            "stats: {:?}",
+            engine.stats()
+        );
+    }
+
+    #[test]
+    fn drop_stops_the_sweeper() {
+        let (store, clock) = store_and_clock();
+        let engine: Arc<dyn Engine<u64>> = store;
+        let service = GcService::spawn(
+            Box::new(Arc::clone(&engine)),
+            clock as Arc<dyn ClockSource>,
+            GcConfig {
+                interval: Duration::from_millis(1),
+                lag: Duration::ZERO,
+            },
+        );
+        assert!(wait_until(|| service.stats().sweeps > 2));
+        drop(service);
+        // The thread has joined; no further sweeps can touch the engine.
+        churn(engine.as_ref(), Key(1), 8);
+        let resident = engine.stats().versions;
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(engine.stats().versions, resident, "sweeper kept running");
+    }
+
+    #[test]
+    fn lag_defers_purging_of_recent_state() {
+        let (store, clock) = store_and_clock();
+        let engine: Arc<dyn Engine<u64>> = store;
+        let service = GcService::spawn(
+            Box::new(Arc::clone(&engine)),
+            clock as Arc<dyn ClockSource>,
+            GcConfig {
+                interval: Duration::from_millis(2),
+                lag: Duration::from_secs(3600),
+            },
+        );
+        churn(engine.as_ref(), Key(1), 8);
+        assert!(wait_until(|| service.stats().sweeps > 3));
+        // With an hour of lag nothing is old enough to purge.
+        assert_eq!(engine.stats().versions, 8);
+        assert_eq!(service.stats().purges, 0);
+    }
+
+    #[test]
+    fn gc_engine_delegates_and_sweeps() {
+        let (store, clock) = store_and_clock();
+        let engine = GcEngine::spawn(store.clone(), clock as Arc<dyn ClockSource>, fast_gc());
+        assert_eq!(TransactionalKV::name(&engine), "mvtl-to");
+        let dyn_engine: &dyn Engine<u64> = &engine;
+        churn(dyn_engine, Key(9), 16);
+        // Wait for the steady state (latest version kept, all purgeable lock
+        // entries gone) so the stats snapshots below cannot race a sweep.
+        assert!(
+            wait_until(|| {
+                let s = dyn_engine.stats();
+                s.versions <= 1 && s.lock_entries == 0
+            }),
+            "stats: {:?}",
+            dyn_engine.stats()
+        );
+        assert_eq!(
+            TransactionalKV::stats(store.as_ref()),
+            dyn_engine.stats(),
+            "wrapper reports the inner engine's stats"
+        );
+        assert!(engine.service().stats().versions_purged >= 15);
+    }
+}

@@ -17,6 +17,10 @@
 //! "sharded?shards=8&inner=mvtil-early"
 //!                                partitioned engine: hash-routed shards,
 //!                                §7 cross-shard interval-intersection commit
+//! "mvtil-early?gc_ms=100&gc_lag_ms=50"
+//!                                any engine + background GC: a `mvtl-gc`
+//!                                service purges below
+//!                                min(low watermark, now − gc_lag) every gc_ms
 //! ```
 //!
 //! A spec is `name` optionally followed by `?key=value&key=value` parameters.
@@ -50,6 +54,7 @@ use mvtl_core::policy::{
     PrioPolicy, ToPolicy,
 };
 use mvtl_core::{MvtlConfig, MvtlStore};
+use mvtl_gc::{GcConfig, GcEngine};
 use mvtl_shard::{IntersectionPick, MvtlBackend, ShardBackend, ShardedStore};
 use std::fmt;
 use std::sync::Arc;
@@ -214,6 +219,10 @@ pub const DEFAULT_2PL_TIMEOUT_MS: u64 = 10;
 pub const DEFAULT_SHARD_COUNT: usize = 8;
 /// Default inner engine of the `sharded` engine's partitions.
 pub const DEFAULT_SHARD_INNER: &str = "mvtil-early";
+/// Default GC lag in milliseconds when a spec sets `gc_ms` but omits
+/// `gc_lag_ms`: the purge bound trails the clock by this much on top of the
+/// active-transaction watermark.
+pub const DEFAULT_GC_LAG_MS: u64 = 50;
 
 /// One canonical spec per registered engine, for sweeps.
 ///
@@ -251,11 +260,18 @@ pub fn build(spec: &str) -> Result<Box<dyn Engine<u64>>, SpecError> {
 /// Builds the engine described by `spec` for an arbitrary value type.
 ///
 /// Shared parameters for every engine: `clock_start` (initial reading of the
-/// global clock, default 0). Shared parameters for all MVTL-core engines:
-/// `timeout_ms` (lock-wait timeout, default 100) and `shards` (key-map shard
-/// count, default 64). Engine-specific parameters: `delta` (MVTIL, ticks),
-/// `eps` (`mvtl-epsilon-clock`, ticks), `offset` (`mvtl-pref`,
-/// comma-separated signed tick offsets), `timeout_ms` (2PL, milliseconds).
+/// global clock, default 0), `gc_ms` (background GC sweep interval in
+/// milliseconds; absent — the default — means no GC thread) and `gc_lag_ms`
+/// (purge-bound lag behind the clock, default [`DEFAULT_GC_LAG_MS`]; requires
+/// `gc_ms`). With `gc_ms` set the returned engine is wrapped in a
+/// [`mvtl_gc::GcEngine`] whose background service purges the engine below
+/// `min(low watermark, now − gc_lag)` every `gc_ms` — for the `sharded`
+/// engine one service sweeps all shards. Shared parameters for all MVTL-core
+/// engines: `timeout_ms` (lock-wait timeout, default 100) and `shards`
+/// (key-map shard count, default 64). Engine-specific parameters: `delta`
+/// (MVTIL, ticks), `eps` (`mvtl-epsilon-clock`, ticks), `offset`
+/// (`mvtl-pref`, comma-separated signed tick offsets), `timeout_ms` (2PL,
+/// milliseconds).
 ///
 /// # Errors
 ///
@@ -270,6 +286,7 @@ where
         Some(start) => Arc::new(GlobalClock::starting_at(start)),
         None => Arc::new(GlobalClock::new()),
     };
+    let gc = take_gc_config(&mut parsed)?;
     let engine: Box<dyn Engine<V>> = match parsed.name.as_str() {
         "mvtil-early" | "mvtil-late" => {
             let delta = parsed.take_parsed("delta")?.unwrap_or(DEFAULT_DELTA);
@@ -278,34 +295,38 @@ where
             } else {
                 MvtilPolicy::late(delta)
             };
-            mvtl_engine(policy, clock, &mut parsed)?
+            mvtl_engine(policy, clock, &mut parsed, gc)?
         }
-        "mvtl-to" => mvtl_engine(ToPolicy::new(), clock, &mut parsed)?,
-        "mvtl-ghostbuster" => mvtl_engine(GhostbusterPolicy::new(), clock, &mut parsed)?,
+        "mvtl-to" => mvtl_engine(ToPolicy::new(), clock, &mut parsed, gc)?,
+        "mvtl-ghostbuster" => mvtl_engine(GhostbusterPolicy::new(), clock, &mut parsed, gc)?,
         "mvtl-epsilon-clock" => {
             let eps = parsed.take_parsed("eps")?.unwrap_or(DEFAULT_EPSILON);
-            mvtl_engine(EpsilonPolicy::new(eps), clock, &mut parsed)?
+            mvtl_engine(EpsilonPolicy::new(eps), clock, &mut parsed, gc)?
         }
         "mvtl-pref" => {
             let policy = match parsed.take("offset") {
                 None => PrefPolicy::new(),
                 Some(list) => PrefPolicy::with_offsets(parse_offsets(&list)?),
             };
-            mvtl_engine(policy, clock, &mut parsed)?
+            mvtl_engine(policy, clock, &mut parsed, gc)?
         }
-        "mvtl-prio" => mvtl_engine(PrioPolicy::new(), clock, &mut parsed)?,
-        "mvtl-pessimistic" => mvtl_engine(PessimisticPolicy::new(), clock, &mut parsed)?,
-        "mvto+" => Box::new(MvtoStore::<V>::new(clock)),
+        "mvtl-prio" => mvtl_engine(PrioPolicy::new(), clock, &mut parsed, gc)?,
+        "mvtl-pessimistic" => mvtl_engine(PessimisticPolicy::new(), clock, &mut parsed, gc)?,
+        "mvto+" => maybe_gc(MvtoStore::<V>::new(Arc::clone(&clock) as _), clock, gc),
         "2pl" => {
             let timeout_ms = parsed
                 .take_parsed("timeout_ms")?
                 .unwrap_or(DEFAULT_2PL_TIMEOUT_MS);
-            Box::new(TwoPhaseLockingStore::<V>::new(
+            maybe_gc(
+                TwoPhaseLockingStore::<V>::new(
+                    Arc::clone(&clock) as _,
+                    Duration::from_millis(timeout_ms),
+                ),
                 clock,
-                Duration::from_millis(timeout_ms),
-            ))
+                gc,
+            )
         }
-        "sharded" => sharded_engine(clock, &mut parsed)?,
+        "sharded" => sharded_engine(clock, &mut parsed, gc)?,
         other => {
             return Err(SpecError::UnknownEngine {
                 name: other.to_string(),
@@ -316,12 +337,56 @@ where
     Ok(engine)
 }
 
+/// Boxes `store` as a `dyn Engine`, attaching a background [`GcEngine`]
+/// sweeper when the spec carried `gc_ms`.
+fn maybe_gc<V, S>(
+    store: S,
+    clock: Arc<dyn mvtl_clock::ClockSource>,
+    gc: Option<GcConfig>,
+) -> Box<dyn Engine<V>>
+where
+    V: Clone + Send + Sync + 'static,
+    S: mvtl_common::TransactionalKV<V> + 'static,
+    S::Txn: 'static,
+{
+    match gc {
+        None => Box::new(store),
+        Some(config) => Box::new(GcEngine::spawn(Arc::new(store), clock, config)),
+    }
+}
+
+/// Consumes the shared `gc_ms` / `gc_lag_ms` parameters. `Some` means "wrap
+/// the engine in a [`GcEngine`] with this configuration".
+fn take_gc_config(parsed: &mut EngineSpec) -> Result<Option<GcConfig>, SpecError> {
+    let gc_ms = parsed.take_parsed::<u64>("gc_ms")?;
+    let gc_lag_ms = parsed.take_parsed::<u64>("gc_lag_ms")?;
+    match (gc_ms, gc_lag_ms) {
+        (None, None) => Ok(None),
+        (None, Some(_)) => Err(SpecError::Malformed {
+            detail: "gc_lag_ms requires gc_ms (no GC service without an interval)".to_string(),
+        }),
+        (Some(0), _) => Err(SpecError::InvalidValue {
+            param: "gc_ms".to_string(),
+            value: "0".to_string(),
+        }),
+        (Some(ms), lag) => Ok(Some(
+            GcConfig::default()
+                .with_interval(Duration::from_millis(ms))
+                .with_lag(Duration::from_millis(lag.unwrap_or(DEFAULT_GC_LAG_MS))),
+        )),
+    }
+}
+
 /// Builds an `MvtlStore` around `policy`, consuming the shared MVTL
-/// parameters (`timeout_ms`, `shards`) from the spec.
+/// parameters (`timeout_ms`, `shards`) from the spec. The GC knobs are
+/// recorded in the store's [`MvtlConfig`] so embedders that reach through to
+/// the store see the requested maintenance policy; the service itself is
+/// attached by [`build_for`].
 fn mvtl_engine<V, P>(
     policy: P,
     clock: Arc<GlobalClock>,
     parsed: &mut EngineSpec,
+    gc: Option<GcConfig>,
 ) -> Result<Box<dyn Engine<V>>, SpecError>
 where
     V: Clone + Send + Sync + 'static,
@@ -334,7 +399,16 @@ where
     if let Some(shards) = parsed.take_parsed::<usize>("shards")? {
         config = config.with_shards(shards);
     }
-    Ok(Box::new(MvtlStore::<V, P>::new(policy, clock, config)))
+    if let Some(gc) = gc {
+        config = config
+            .with_gc_interval(Some(gc.interval))
+            .with_gc_lag(gc.lag);
+    }
+    // The store config is the source of truth for the service from here on:
+    // the spawned sweeper's configuration is read back out of it.
+    let service = GcConfig::from_store_config(&config);
+    let store = MvtlStore::<V, P>::new(policy, Arc::clone(&clock) as _, config);
+    Ok(maybe_gc(store, clock, service))
 }
 
 /// Builds the partitioned `sharded` engine: `shards` hash partitions, each an
@@ -348,10 +422,14 @@ where
 /// the interval intersection a cross-shard commit uses; defaults to the
 /// inner engine's own bias: `max` for `mvtil-late`, `min` otherwise),
 /// `map_shards` (each partition's key→cell map shard count), plus the inner
-/// engine's own parameters (`delta`, `eps`, `offset`, `timeout_ms`).
+/// engine's own parameters (`delta`, `eps`, `offset`, `timeout_ms`). With
+/// `gc_ms` set (consumed by [`build_for`]), the single service attached to
+/// the returned engine sweeps *all* shards through
+/// [`ShardedStore::purge_below`] under the store's aggregated low watermark.
 fn sharded_engine<V>(
     clock: Arc<GlobalClock>,
     parsed: &mut EngineSpec,
+    gc: Option<GcConfig>,
 ) -> Result<Box<dyn Engine<V>>, SpecError>
 where
     V: Clone + Send + Sync + 'static,
@@ -387,6 +465,12 @@ where
     if let Some(map_shards) = parsed.take_parsed::<usize>("map_shards")? {
         config = config.with_shards(map_shards);
     }
+    if let Some(gc) = gc {
+        config = config
+            .with_gc_interval(Some(gc.interval))
+            .with_gc_lag(gc.lag);
+    }
+    let service = GcConfig::from_store_config(&config);
     let clock: Arc<dyn mvtl_clock::ClockSource> = clock;
     let backend = |policy_for: &dyn Fn() -> Arc<dyn ShardBackend<V>>| {
         (0..count).map(|_| policy_for()).collect::<Vec<_>>()
@@ -447,7 +531,8 @@ where
             });
         }
     };
-    Ok(Box::new(ShardedStore::new(backends, clock, pick)))
+    let store = ShardedStore::new(backends, Arc::clone(&clock), pick);
+    Ok(maybe_gc(store, clock, service))
 }
 
 fn parse_offsets(list: &str) -> Result<Vec<i64>, SpecError> {
@@ -547,6 +632,54 @@ mod tests {
         assert!(build("sharded").is_ok());
         assert!(build("sharded?shards=2&inner=mvtil-late&delta=500&pick=max&map_shards=4").is_ok());
         assert!(build_for::<String>("sharded?shards=2").is_ok());
+    }
+
+    #[test]
+    fn gc_specs_build_for_every_engine_and_reject_bad_params() {
+        for spec in [
+            "mvtil-early?gc_ms=50&gc_lag_ms=10",
+            "mvtl-to?gc_ms=50",
+            "mvto+?gc_ms=50",
+            "2pl?gc_ms=50",
+            "sharded?shards=2&gc_ms=50&gc_lag_ms=5",
+        ] {
+            let engine = build(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert_eq!(engine.name(), EngineSpec::base_name(spec), "{spec}");
+        }
+        assert!(matches!(
+            build("mvtil-early?gc_lag_ms=5").map(|_| ()),
+            Err(SpecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            build("mvtil-early?gc_ms=0").map(|_| ()),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            build("mvtil-early?gc_ms=soon").map(|_| ()),
+            Err(SpecError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn gc_wrapped_engine_purges_in_the_background() {
+        use mvtl_common::{EngineExt, Key, ProcessId};
+        let engine = build("mvtl-to?gc_ms=2&gc_lag_ms=0").unwrap();
+        for round in 0..16u64 {
+            let mut tx = engine.begin(ProcessId(1));
+            tx.write(Key(1), round).unwrap();
+            tx.commit().unwrap();
+        }
+        let bounded = (0..500).any(|_| {
+            if engine.stats().versions <= 1 {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+            false
+        });
+        assert!(bounded, "GC never swept the spec-built engine");
+        let mut tx = engine.begin(ProcessId(2));
+        assert_eq!(tx.read(Key(1)).unwrap(), Some(15));
+        tx.commit().unwrap();
     }
 
     #[test]

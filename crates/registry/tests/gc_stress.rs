@@ -1,0 +1,146 @@
+//! Purge/read race stress: concurrent readers and writers against an
+//! aggressive, watermark-ignoring purge loop.
+//!
+//! Every key is seeded with a committed value before the churn starts, so a
+//! transactional read may *never* observe `Ok(None)` — the fixed read path
+//! either returns a committed value or aborts with `VersionPurged` when the
+//! purge loop removed its anchor version mid-read. A silent `None` would be a
+//! fabricated empty read of a key that has committed data (the exact race in
+//! the pre-fix `MvtlStore::read`, which re-acquired the cell latch after the
+//! policy had anchored the version).
+//!
+//! The CI workflow also runs these in release mode:
+//! `cargo test -q --release -p mvtl-registry -- stress`.
+
+use mvtl_common::{EngineExt, Key, ProcessId, Timestamp, TxError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+const KEYS: u64 = 32;
+const READERS: usize = 4;
+const WRITERS: usize = 2;
+const DURATION: Duration = Duration::from_millis(250);
+
+/// Deterministic per-thread key stream (splitmix64).
+fn next_key(state: &mut u64) -> Key {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    Key((z ^ (z >> 31)) % KEYS)
+}
+
+fn stress_purge_vs_readers(spec: &str) {
+    let engine = mvtl_registry::build(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+    let engine = engine.as_ref();
+
+    // Seed every key with a committed value: from here on, a read returning
+    // the initial ⊥ version would be wrong.
+    for key in 0..KEYS {
+        let mut tx = engine.begin(ProcessId(0));
+        tx.write(Key(key), u64::MAX).unwrap();
+        tx.commit()
+            .unwrap_or_else(|e| panic!("{spec}: seeding {key}: {e}"));
+    }
+
+    let stop = AtomicBool::new(false);
+    let silent_nones = AtomicU64::new(0);
+    let committed_reads = AtomicU64::new(0);
+    let purged_aborts = AtomicU64::new(0);
+    let purges = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for writer in 0..WRITERS {
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut keys = 0xC0FFEE ^ writer as u64;
+                let mut counter = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut tx = engine.begin(ProcessId(1 + writer as u32));
+                    counter += 1;
+                    if tx.write(next_key(&mut keys), counter).is_ok() {
+                        let _ = tx.commit();
+                    }
+                }
+            });
+        }
+        for reader in 0..READERS {
+            let stop = &stop;
+            let silent_nones = &silent_nones;
+            let committed_reads = &committed_reads;
+            let purged_aborts = &purged_aborts;
+            scope.spawn(move || {
+                let mut keys = 0xDECAF ^ reader as u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = next_key(&mut keys);
+                    let mut tx = engine.begin(ProcessId(100 + reader as u32));
+                    match tx.read(key) {
+                        Ok(Some(_)) => {
+                            committed_reads.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(None) => {
+                            silent_nones.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(TxError::Aborted(reason)) => {
+                            if matches!(reason, mvtl_common::AbortReason::VersionPurged { .. }) {
+                                purged_aborts.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(err) => panic!("{spec}: unexpected read error: {err}"),
+                    }
+                }
+            });
+        }
+        // The aggressive GC loop: purge everything purgeable, as fast as
+        // possible, deliberately ignoring the watermark — the read path must
+        // stay abort-or-value even under a misbehaving collector.
+        {
+            let stop = &stop;
+            let purges = &purges;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = engine.purge_below(Timestamp::MAX);
+                    purges.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        let stop = &stop;
+        scope.spawn(move || {
+            std::thread::sleep(DURATION);
+            stop.store(true, Ordering::Relaxed);
+        });
+    });
+
+    assert_eq!(
+        silent_nones.load(Ordering::Relaxed),
+        0,
+        "{spec}: a read returned Ok(None) for a key with committed values \
+         ({} committed reads, {} VersionPurged aborts, {} purge sweeps)",
+        committed_reads.load(Ordering::Relaxed),
+        purged_aborts.load(Ordering::Relaxed),
+        purges.load(Ordering::Relaxed),
+    );
+    assert!(
+        committed_reads.load(Ordering::Relaxed) > 0,
+        "{spec}: readers never saw a committed value"
+    );
+    assert!(
+        purges.load(Ordering::Relaxed) > 0,
+        "{spec}: the purge loop never ran"
+    );
+}
+
+#[test]
+fn stress_purge_vs_readers_mvtil_early() {
+    stress_purge_vs_readers("mvtil-early");
+}
+
+#[test]
+fn stress_purge_vs_readers_mvto() {
+    stress_purge_vs_readers("mvto+");
+}
+
+#[test]
+fn stress_purge_vs_readers_sharded() {
+    stress_purge_vs_readers("sharded?shards=8");
+}

@@ -32,6 +32,13 @@ pub trait ShardBackend<V>: Send + Sync {
     /// Purges versions and lock state older than `bound` on this shard.
     /// Returns `(versions_removed, lock_entries_removed)`.
     fn purge_below(&self, bound: Timestamp) -> (usize, usize);
+
+    /// The smallest timestamp any in-flight transaction on this shard may
+    /// still anchor a read on (the shard's GC low watermark), or `None` when
+    /// the shard is idle or does not track one.
+    fn low_watermark(&self) -> Option<Timestamp> {
+        None
+    }
 }
 
 /// An open transaction on one shard.
@@ -151,6 +158,10 @@ where
 
     fn purge_below(&self, bound: Timestamp) -> (usize, usize) {
         self.store.purge_below(bound)
+    }
+
+    fn low_watermark(&self) -> Option<Timestamp> {
+        self.store.low_watermark()
     }
 }
 

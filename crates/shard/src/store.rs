@@ -3,10 +3,11 @@
 use crate::backend::{PreparedShardTxn, ShardBackend, ShardTxn};
 use mvtl_clock::ClockSource;
 use mvtl_common::{
-    AbortReason, CommitInfo, Key, ProcessId, Timestamp, TransactionalKV, TsSet, TxError, TxId,
+    AbortReason, ActiveTxnRegistry, CommitInfo, Key, ProcessId, StoreStats, Timestamp,
+    TransactionalKV, TsSet, TxError, TxId, TxnPin,
 };
 use mvtl_core::policy::LockingPolicy;
-use mvtl_core::{MvtlConfig, StoreStats};
+use mvtl_core::MvtlConfig;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -47,6 +48,11 @@ pub struct ShardedStore<V> {
     shards: Vec<Arc<dyn ShardBackend<V>>>,
     clock: Arc<dyn ClockSource>,
     pick: IntersectionPick,
+    /// Coordinator-level registry: a transaction is pinned at its base
+    /// timestamp from `begin` until commit/abort, covering the window before
+    /// its lazily opened sub-transactions register with the shard-level
+    /// registries (and any shard it never touches).
+    active: ActiveTxnRegistry,
 }
 
 impl<V> ShardedStore<V>
@@ -69,6 +75,7 @@ where
             shards,
             clock,
             pick,
+            active: ActiveTxnRegistry::new(),
         }
     }
 
@@ -124,16 +131,10 @@ where
     /// Aggregate state-size statistics summed across all shards.
     #[must_use]
     pub fn stats(&self) -> StoreStats {
-        let mut total = StoreStats::default();
-        for shard in &self.shards {
-            let s = shard.stats();
-            total.keys += s.keys;
-            total.versions += s.versions;
-            total.purged_versions += s.purged_versions;
-            total.lock_entries += s.lock_entries;
-            total.frozen_lock_entries += s.frozen_lock_entries;
-        }
-        total
+        self.shards
+            .iter()
+            .map(|s| s.stats())
+            .fold(StoreStats::default(), StoreStats::merge)
     }
 
     /// Per-shard state-size statistics, in shard order.
@@ -153,6 +154,21 @@ where
             locks += l;
         }
         (versions, locks)
+    }
+
+    /// The GC low watermark: the minimum over the coordinator-level registry
+    /// (every open transaction is pinned at its base timestamp from `begin`
+    /// to commit/abort — sub-transactions open *lazily*, so the shard-level
+    /// registries alone would leave a begun-but-idle transaction unprotected)
+    /// and every shard's own watermark. One sweep below this bound is safe
+    /// on every shard.
+    #[must_use]
+    pub fn low_watermark(&self) -> Option<Timestamp> {
+        self.active
+            .low_watermark()
+            .into_iter()
+            .chain(self.shards.iter().filter_map(|s| s.low_watermark()))
+            .min()
     }
 
     /// The §7 coordinator: prepare every participant, intersect the frozen
@@ -205,18 +221,34 @@ where
         };
 
         // Phase 3: commit every shard at the common timestamp. This cannot
-        // fail: `commit_ts` lies inside each shard's frozen interval and each
-        // participant still holds all the locks backing it.
+        // fail for a correct backend: `commit_ts` lies inside each shard's
+        // frozen interval and each participant still holds all the locks
+        // backing it. Should a shard reject the timestamp anyway (a backend
+        // bug), the remaining prepared participants must still be drained —
+        // aborting them releases their locks instead of leaking them — before
+        // the internal error is reported.
         let mut reads = Vec::new();
         let mut writes = Vec::new();
+        let mut failure: Option<TxError> = None;
         for p in prepared {
-            let info = p.commit_at(commit_ts).map_err(|err| {
-                TxError::Internal(format!(
-                    "shard rejected the coordinated commit timestamp {commit_ts}: {err}"
-                ))
-            })?;
-            reads.extend(info.reads);
-            writes.extend(info.writes);
+            if failure.is_some() {
+                p.abort();
+                continue;
+            }
+            match p.commit_at(commit_ts) {
+                Ok(info) => {
+                    reads.extend(info.reads);
+                    writes.extend(info.writes);
+                }
+                Err(err) => {
+                    failure = Some(TxError::Internal(format!(
+                        "shard rejected the coordinated commit timestamp {commit_ts}: {err}"
+                    )));
+                }
+            }
+        }
+        if let Some(err) = failure {
+            return Err(err);
         }
         Ok(CommitInfo {
             tx,
@@ -240,6 +272,9 @@ pub struct ShardedTxn<V> {
     base: Timestamp,
     subs: Vec<Option<Box<dyn ShardTxn<V>>>>,
     poisoned: bool,
+    /// Ticket in the coordinator's active-transaction registry; taken back
+    /// when the transaction is committed or aborted.
+    gc_pin: Option<TxnPin>,
 }
 
 impl<V> ShardedTxn<V> {
@@ -294,6 +329,7 @@ where
             base,
             subs: (0..self.shards.len()).map(|_| None).collect(),
             poisoned: false,
+            gc_pin: Some(self.active.register(base)),
         }
     }
 
@@ -332,6 +368,12 @@ where
     }
 
     fn commit(&self, mut txn: Self::Txn) -> Result<CommitInfo, TxError> {
+        // The coordinator pin only has to cover the window in which new
+        // sub-transactions can still open; from here on every touched shard
+        // holds its own (shard-level) pin, so release before coordinating.
+        if let Some(pin) = txn.gc_pin.take() {
+            self.active.deregister(pin);
+        }
         if txn.poisoned {
             return Err(TxError::TransactionFinished);
         }
@@ -360,6 +402,9 @@ where
     }
 
     fn abort(&self, mut txn: Self::Txn) {
+        if let Some(pin) = txn.gc_pin.take() {
+            self.active.deregister(pin);
+        }
         for sub in &mut txn.subs {
             if let Some(sub) = sub.take() {
                 sub.abort();
@@ -369,5 +414,17 @@ where
 
     fn name(&self) -> &'static str {
         "sharded"
+    }
+
+    fn stats(&self) -> StoreStats {
+        ShardedStore::stats(self)
+    }
+
+    fn purge_below(&self, bound: Timestamp) -> (usize, usize) {
+        ShardedStore::purge_below(self, bound)
+    }
+
+    fn low_watermark(&self) -> Option<Timestamp> {
+        ShardedStore::low_watermark(self)
     }
 }

@@ -432,8 +432,11 @@ pub fn engine_grid_with_skew(scale: Scale, dist: KeyDist) -> FigureTable {
                 protocol: engine.name(),
                 throughput_tps: metrics.throughput_tps(),
                 commit_rate: metrics.commit_rate(),
-                locks: None,
-                versions: None,
+                // Figure-6-style state-size endpoint: final lock entries and
+                // stored versions of the real engine (zeros for engines that
+                // track no such state, e.g. 2PL).
+                locks: Some(metrics.stats_end.lock_entries),
+                versions: Some(metrics.stats_end.versions),
             });
         }
     }

@@ -18,6 +18,9 @@
 //!   ([`mvtl_sim`]), and [`figures::engine_grid`], the registry-driven sweep
 //!   over every centralized engine. Each returns structured rows and can
 //!   render the same table the corresponding binary in `mvtl-bench` prints.
+//! * [`soak`] — the GC soak: the same sustained workload run GC-off and
+//!   GC-on against a real engine, asserting the §6 claim that the garbage
+//!   collector keeps versions + lock entries bounded ([`soak::gc_soak`]).
 //!
 //! Every figure function takes a [`figures::Scale`]: `Quick` keeps runs small
 //! enough for CI and benchmarks, `Paper` uses parameter ranges matching the
@@ -28,8 +31,10 @@
 
 pub mod figures;
 pub mod runner;
+pub mod soak;
 pub mod spec;
 
 pub use figures::{FigureRow, FigureTable, Scale};
 pub use runner::{run_closed_loop, RunnerMetrics, RunnerOptions};
+pub use soak::{gc_soak, SoakOptions, SoakReport};
 pub use spec::{KeyDist, KeySampler, TxTemplate, WorkloadSpec};

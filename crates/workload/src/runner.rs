@@ -8,7 +8,7 @@
 //! (the distributed experiments use `mvtl-sim` instead).
 
 use crate::spec::WorkloadSpec;
-use mvtl_common::{Engine, EngineExt, ProcessId, TxError};
+use mvtl_common::{Engine, EngineExt, ProcessId, StoreStats, TxError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -47,6 +47,12 @@ pub struct RunnerMetrics {
     pub aborted: u64,
     /// Measured wall-clock duration in seconds.
     pub elapsed_secs: f64,
+    /// Engine state-size statistics sampled before the run started.
+    pub stats_start: StoreStats,
+    /// Engine state-size statistics sampled after the run finished — the
+    /// Figure-6 "state as time passes" endpoint: with GC attached this stays
+    /// bounded; without it, it grows with every committed write.
+    pub stats_end: StoreStats,
 }
 
 impl RunnerMetrics {
@@ -87,6 +93,7 @@ pub fn run_closed_loop<V>(
     let committed = AtomicU64::new(0);
     let aborted = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
+    let stats_start = engine.stats();
     let start = Instant::now();
 
     std::thread::scope(|scope| {
@@ -149,6 +156,8 @@ pub fn run_closed_loop<V>(
         committed: committed.into_inner(),
         aborted: aborted.into_inner(),
         elapsed_secs: start.elapsed().as_secs_f64(),
+        stats_start,
+        stats_end: engine.stats(),
     }
 }
 
@@ -172,6 +181,10 @@ mod tests {
         assert!(metrics.committed > 0);
         assert!(metrics.throughput_tps() > 0.0);
         assert!(metrics.commit_rate() > 0.5);
+        // State-size sampling: nothing before the run, committed writes after.
+        assert_eq!(metrics.stats_start, StoreStats::default());
+        assert!(metrics.stats_end.versions > 0);
+        assert!(metrics.stats_end.resident() >= metrics.stats_end.versions);
     }
 
     #[test]
@@ -189,6 +202,7 @@ mod tests {
             committed: 50,
             aborted: 50,
             elapsed_secs: 2.0,
+            ..RunnerMetrics::default()
         };
         assert!((m.throughput_tps() - 25.0).abs() < f64::EPSILON);
         assert!((m.commit_rate() - 0.5).abs() < f64::EPSILON);

@@ -1,0 +1,163 @@
+//! The GC soak harness: the real-engine analogue of the simulator's
+//! Figure 6/7 experiment (`gc_bounds_state_size`).
+//!
+//! A soak runs the *same* closed-loop workload twice against the same
+//! registry spec — once as written (no GC) and once with
+//! `gc_ms`/`gc_lag_ms` appended, which attaches the `mvtl-gc` background
+//! service — and compares the engines' final state sizes. Under sustained
+//! write traffic the GC-off engine accumulates versions and lock entries
+//! without bound, while the GC-on engine stays near the live working set;
+//! [`SoakReport::gc_bounds_state`] is that inequality, and the `soak` binary
+//! in `mvtl-bench` (run in CI) fails when it does not hold.
+
+use crate::runner::{run_closed_loop, RunnerMetrics, RunnerOptions};
+use crate::spec::WorkloadSpec;
+use mvtl_registry::EngineSpec;
+use std::time::Duration;
+
+/// Options of a [`gc_soak`] run.
+#[derive(Debug, Clone)]
+pub struct SoakOptions {
+    /// Number of client threads (the acceptance setup uses 4).
+    pub clients: usize,
+    /// Wall-clock duration of each of the two runs.
+    pub duration: Duration,
+    /// GC sweep interval appended to the spec for the GC-on run.
+    pub gc_ms: u64,
+    /// GC lag appended to the spec for the GC-on run.
+    pub gc_lag_ms: u64,
+    /// Workload shape shared by both runs.
+    pub spec: WorkloadSpec,
+    /// Base seed shared by both runs.
+    pub seed: u64,
+}
+
+impl Default for SoakOptions {
+    fn default() -> Self {
+        SoakOptions {
+            clients: 4,
+            duration: Duration::from_millis(500),
+            gc_ms: 10,
+            gc_lag_ms: 5,
+            spec: WorkloadSpec::new(8, 0.5, 512),
+            seed: 42,
+        }
+    }
+}
+
+/// The outcome of one [`gc_soak`]: the same workload with and without GC.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// The engine spec of the GC-off run.
+    pub base_spec: String,
+    /// The engine spec of the GC-on run (base plus `gc_ms`/`gc_lag_ms`).
+    pub gc_spec: String,
+    /// Metrics of the GC-off run.
+    pub gc_off: RunnerMetrics,
+    /// Metrics of the GC-on run.
+    pub gc_on: RunnerMetrics,
+}
+
+impl SoakReport {
+    /// The Figure-6 claim for real engines: with GC attached, the resident
+    /// state (stored versions + lock entries) at the end of the run is
+    /// strictly below the GC-off run's.
+    #[must_use]
+    pub fn gc_bounds_state(&self) -> bool {
+        self.gc_on.stats_end.resident() < self.gc_off.stats_end.resident()
+    }
+
+    /// Renders the comparison as an aligned two-row table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# gc-soak — {} ({} s/run)\n{:<44} {:>10} {:>12} {:>10} {:>10} {:>10} {:>8}\n",
+            self.base_spec,
+            self.gc_off.elapsed_secs,
+            "spec",
+            "committed",
+            "commit_rate",
+            "versions",
+            "locks",
+            "purged",
+            "keys",
+        ));
+        for (spec, metrics) in [
+            (&self.base_spec, &self.gc_off),
+            (&self.gc_spec, &self.gc_on),
+        ] {
+            out.push_str(&format!(
+                "{:<44} {:>10} {:>12.3} {:>10} {:>10} {:>10} {:>8}\n",
+                spec,
+                metrics.committed,
+                metrics.commit_rate(),
+                metrics.stats_end.versions,
+                metrics.stats_end.lock_entries,
+                metrics.stats_end.purged_versions,
+                metrics.stats_end.keys,
+            ));
+        }
+        out.push_str(&format!(
+            "bounded: {} (GC-on resident {} vs GC-off resident {})\n",
+            self.gc_bounds_state(),
+            self.gc_on.stats_end.resident(),
+            self.gc_off.stats_end.resident(),
+        ));
+        out
+    }
+}
+
+/// Runs the sustained-load soak for `base_spec`: one GC-off run, one GC-on
+/// run with the options' `gc_ms`/`gc_lag_ms` appended to the spec.
+///
+/// # Panics
+///
+/// Panics when either spec fails to build — a soak over a broken spec should
+/// abort the caller (CI) rather than report an empty run.
+#[must_use]
+pub fn gc_soak(base_spec: &str, options: &SoakOptions) -> SoakReport {
+    let gc_spec = EngineSpec::append_params(
+        base_spec,
+        &format!("gc_ms={}&gc_lag_ms={}", options.gc_ms, options.gc_lag_ms),
+    );
+    let runner_options = RunnerOptions {
+        clients: options.clients,
+        duration: options.duration,
+        spec: options.spec,
+        seed: options.seed,
+    };
+    let run = |spec: &str| {
+        let engine =
+            mvtl_registry::build(spec).unwrap_or_else(|e| panic!("soak spec {spec:?}: {e}"));
+        run_closed_loop(engine.as_ref(), &runner_options, |v| v)
+    };
+    let gc_off = run(base_spec);
+    let gc_on = run(&gc_spec);
+    SoakReport {
+        base_spec: base_spec.to_string(),
+        gc_spec,
+        gc_off,
+        gc_on,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soak_report_renders_both_rows() {
+        let report = gc_soak(
+            "mvtil-early",
+            &SoakOptions {
+                duration: Duration::from_millis(120),
+                ..SoakOptions::default()
+            },
+        );
+        let rendered = report.render();
+        assert!(rendered.contains("mvtil-early?gc_ms=10&gc_lag_ms=5"));
+        assert!(rendered.contains("bounded:"));
+        assert!(report.gc_off.committed > 0 && report.gc_on.committed > 0);
+    }
+}
