@@ -1,0 +1,60 @@
+//! Micro-benchmark of the batched operation surface: the same dedup-friendly
+//! multi-key transaction executed op-by-op and through `read_many` /
+//! `write_many`, on the reference `mvtil-early` engine and on the
+//! partitioned `sharded` engine (where batching additionally collapses
+//! coordination to one round per shard).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mvtl_common::{EngineExt, Key, ProcessId};
+use std::hint::black_box;
+
+/// 32 keys with extreme duplication: `i² mod 16` only takes the values
+/// {0, 1, 4, 9}, so each batch holds exactly 4 distinct keys — a
+/// dedup-maximal micro workload that bounds how much the batched path can
+/// win (realistic zipf batches sit well below this 8× dedup ratio).
+fn batch_keys(round: u64) -> Vec<Key> {
+    (0..32u64).map(|i| Key((round * 7 + i * i) % 16)).collect()
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_micro");
+
+    for spec in ["mvtil-early", "sharded?shards=8&inner=mvtil-early"] {
+        for (label, batched) in [("op-by-op", false), ("batched", true)] {
+            let engine = mvtl_registry::build(spec).expect("registry spec must build");
+            // Seed one committed version per key so reads anchor on real state.
+            let mut tx = engine.begin(ProcessId(1));
+            tx.write_many((0..16u64).map(|k| (Key(k), k)).collect())
+                .unwrap();
+            tx.commit().unwrap();
+
+            let mut round = 0u64;
+            group.bench_function(&format!("{}/{label}", engine.name()), |b| {
+                b.iter(|| {
+                    round += 1;
+                    let keys = batch_keys(round);
+                    let mut tx = engine.begin(ProcessId(1));
+                    if batched {
+                        let _ = black_box(tx.read_many(&keys));
+                        let _ = black_box(tx.write_many(vec![
+                            (Key(round % 16), round),
+                            (Key((round + 5) % 16), round),
+                        ]));
+                    } else {
+                        for key in &keys {
+                            let _ = black_box(tx.read(*key));
+                        }
+                        let _ = black_box(tx.write(Key(round % 16), round));
+                        let _ = black_box(tx.write(Key((round + 5) % 16), round));
+                    }
+                    let _ = black_box(tx.commit());
+                })
+            });
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

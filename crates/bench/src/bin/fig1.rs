@@ -7,7 +7,8 @@
 //! (`gc_ms`/`gc_lag_ms` appended via the same sweep plumbing), so a spec
 //! layer that silently dropped the GC parameters would fail here.
 //!
-//! Pass `--paper` for paper-scale sweeps, `--smoke` for the CI smoke run. The
+//! Pass `--paper` for paper-scale sweeps, `--smoke` for the CI smoke run and
+//! `--seed N` to pin the GC-smoke workload RNG for reproducible reruns. The
 //! process exits non-zero if any registered engine fails to build or stops
 //! committing (on either key distribution), so engine-wiring regressions fail
 //! CI rather than just compile.
@@ -18,6 +19,7 @@ use std::time::Duration;
 
 fn main() {
     let scale = mvtl_bench::scale_from_args(std::env::args().skip(1));
+    let seed = mvtl_bench::seed_from_args(std::env::args().skip(1), 42);
     let table = mvtl_workload::figures::fig1_concurrency_local(scale);
     println!("{}", table.render());
 
@@ -45,7 +47,7 @@ fn main() {
                 clients: 4,
                 duration: Duration::from_millis(200),
                 spec: WorkloadSpec::new(8, 0.5, 256),
-                seed: 42,
+                seed,
             },
             |v| v,
         );

@@ -7,13 +7,15 @@
 //! non-zero if any GC-on run fails to stay strictly below its GC-off twin or
 //! never purges — so a regression in the watermark/purge plumbing fails CI
 //! rather than silently unbounding memory. Pass `--smoke` for the short CI
-//! run, `--paper` for a minutes-long soak.
+//! run, `--paper` for a minutes-long soak, and `--seed N` to pin the
+//! workload RNG for reproducible reruns.
 
 use mvtl_workload::{gc_soak, Scale, SoakOptions, WorkloadSpec};
 use std::time::Duration;
 
 fn main() {
     let scale = mvtl_bench::scale_from_args(std::env::args().skip(1));
+    let seed = mvtl_bench::seed_from_args(std::env::args().skip(1), 42);
     let duration = match scale {
         Scale::Smoke => Duration::from_millis(400),
         Scale::Quick => Duration::from_secs(2),
@@ -25,7 +27,7 @@ fn main() {
         gc_ms: 10,
         gc_lag_ms: 5,
         spec: WorkloadSpec::new(8, 0.5, 512),
-        seed: 42,
+        seed,
     };
     let mut failed = false;
     // MVTIL serializes up to Δ ticks above "now" (interval shrinking pushes

@@ -41,6 +41,30 @@ pub fn scale_from_args<I: IntoIterator<Item = String>>(args: I) -> Scale {
     scale
 }
 
+/// Parses the workload RNG seed from the command line: `--seed N` or
+/// `--seed=N`, falling back to `default` when absent or unparsable.
+///
+/// The figure/soak/report binaries thread this seed into every
+/// `RunnerOptions`/`SoakOptions` they build, so CI smoke runs are exactly
+/// reproducible across reruns (`--seed 42` twice generates the same
+/// transaction streams).
+#[must_use]
+pub fn seed_from_args<I: IntoIterator<Item = String>>(args: I, default: u64) -> u64 {
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if arg == "--seed" {
+            if let Some(seed) = args.next().and_then(|v| v.parse().ok()) {
+                return seed;
+            }
+        } else if let Some(value) = arg.strip_prefix("--seed=") {
+            if let Ok(seed) = value.parse() {
+                return seed;
+            }
+        }
+    }
+    default
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -54,5 +78,23 @@ mod tests {
             scale_from_args(vec!["fig1".to_string(), "--paper".to_string()]),
             Scale::Paper
         );
+    }
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn parses_seeds() {
+        assert_eq!(seed_from_args(Vec::<String>::new(), 42), 42);
+        assert_eq!(seed_from_args(strings(&["--seed", "7"]), 42), 7);
+        assert_eq!(seed_from_args(strings(&["--seed=123"]), 42), 123);
+        assert_eq!(
+            seed_from_args(strings(&["--smoke", "--seed", "9"]), 42),
+            9,
+            "seed parses alongside scale flags"
+        );
+        assert_eq!(seed_from_args(strings(&["--seed", "pear"]), 42), 42);
+        assert_eq!(seed_from_args(strings(&["--seed"]), 42), 42);
     }
 }

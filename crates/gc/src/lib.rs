@@ -400,6 +400,17 @@ where
         self.inner.write(txn, key, value)
     }
 
+    // The batched surface must forward too: the trait defaults loop over
+    // `read`/`write`, which would silently strip the inner engine's native
+    // batched path from every GC-wrapped spec.
+    fn read_many(&self, txn: &mut Self::Txn, keys: &[Key]) -> Result<Vec<Option<V>>, TxError> {
+        self.inner.read_many(txn, keys)
+    }
+
+    fn write_many(&self, txn: &mut Self::Txn, entries: Vec<(Key, V)>) -> Result<(), TxError> {
+        self.inner.write_many(txn, entries)
+    }
+
     fn commit(&self, txn: Self::Txn) -> Result<CommitInfo, TxError> {
         self.inner.commit(txn)
     }
@@ -476,6 +487,96 @@ mod tests {
             interval: Duration::from_millis(2),
             lag: Duration::ZERO,
         }
+    }
+
+    #[test]
+    fn gc_engine_forwards_the_batched_surface() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        /// Counts batched calls so a wrapper that falls back to the default
+        /// per-key loops is caught.
+        struct Probe {
+            inner: Store,
+            read_many_calls: AtomicUsize,
+            write_many_calls: AtomicUsize,
+        }
+
+        impl TransactionalKV<u64> for Probe {
+            type Txn = <Store as TransactionalKV<u64>>::Txn;
+
+            fn begin_at(&self, process: ProcessId, pinned: Option<Timestamp>) -> Self::Txn {
+                self.inner.begin_at(process, pinned)
+            }
+
+            fn read(&self, txn: &mut Self::Txn, key: Key) -> Result<Option<u64>, TxError> {
+                self.inner.read(txn, key)
+            }
+
+            fn write(&self, txn: &mut Self::Txn, key: Key, value: u64) -> Result<(), TxError> {
+                self.inner.write(txn, key, value)
+            }
+
+            fn read_many(
+                &self,
+                txn: &mut Self::Txn,
+                keys: &[Key],
+            ) -> Result<Vec<Option<u64>>, TxError> {
+                self.read_many_calls.fetch_add(1, Ordering::Relaxed);
+                self.inner.read_many(txn, keys)
+            }
+
+            fn write_many(
+                &self,
+                txn: &mut Self::Txn,
+                entries: Vec<(Key, u64)>,
+            ) -> Result<(), TxError> {
+                self.write_many_calls.fetch_add(1, Ordering::Relaxed);
+                self.inner.write_many(txn, entries)
+            }
+
+            fn commit(&self, txn: Self::Txn) -> Result<CommitInfo, TxError> {
+                self.inner.commit(txn)
+            }
+
+            fn abort(&self, txn: Self::Txn) {
+                self.inner.abort(txn);
+            }
+
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+        }
+
+        let clock = Arc::new(mvtl_clock::GlobalClock::new());
+        let probe = Arc::new(Probe {
+            inner: MvtlStore::new(
+                ToPolicy::new(),
+                clock.clone() as Arc<dyn ClockSource>,
+                MvtlConfig::default(),
+            ),
+            read_many_calls: AtomicUsize::new(0),
+            write_many_calls: AtomicUsize::new(0),
+        });
+        let engine = GcEngine::spawn(
+            Arc::clone(&probe),
+            clock as Arc<dyn ClockSource>,
+            GcConfig::default(),
+        );
+        let engine: &dyn Engine<u64> = &engine;
+
+        let mut tx = engine.begin(ProcessId(1));
+        tx.write_many(vec![(Key(1), 1), (Key(2), 2), (Key(3), 3)])
+            .unwrap();
+        assert_eq!(
+            tx.read_many(&[Key(1), Key(2), Key(3)]).unwrap(),
+            vec![Some(1), Some(2), Some(3)]
+        );
+        tx.commit().unwrap();
+
+        // One batched call each reached the wrapped store — the GC wrapper
+        // must not degrade batches into per-key loops.
+        assert_eq!(probe.write_many_calls.load(Ordering::Relaxed), 1);
+        assert_eq!(probe.read_many_calls.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -179,6 +179,18 @@ impl EngineSpec {
         }
     }
 
+    /// Peeks the value of parameter `key` without consuming it. Report and
+    /// sweep tooling uses this to record the knobs a spec carries (shard
+    /// count, Δ, GC interval) next to the measurements taken from the engine
+    /// it built.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
     fn take(&mut self, key: &str) -> Option<String> {
         let idx = self.params.iter().position(|(k, _)| k == key)?;
         Some(self.params.remove(idx).1)
@@ -564,6 +576,16 @@ mod tests {
             ]
         );
         assert_eq!(EngineSpec::parse("2pl").unwrap().params, vec![]);
+    }
+
+    #[test]
+    fn get_peeks_parameters_without_consuming() {
+        let spec = EngineSpec::parse("sharded?shards=8&inner=mvtil-early").unwrap();
+        assert_eq!(spec.get("shards"), Some("8"));
+        assert_eq!(spec.get("inner"), Some("mvtil-early"));
+        assert_eq!(spec.get("delta"), None);
+        // Peeking twice works: nothing was removed.
+        assert_eq!(spec.get("shards"), Some("8"));
     }
 
     #[test]

@@ -58,6 +58,34 @@ pub trait ShardTxn<V>: Send {
     /// Returns [`TxError::Aborted`] when eager lock acquisition fails.
     fn write(&mut self, key: Key, value: V) -> Result<(), TxError>;
 
+    /// Reads every key of `keys` (all routed to this shard) in one round,
+    /// returning values in input order. The default loops over
+    /// [`ShardTxn::read`]; the [`MvtlStore`] backend forwards to the store's
+    /// batch-native path so a sharded batch pays one deduplicated lock pass
+    /// per shard, not one negotiation per key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Aborted`] when the shard's policy aborts the
+    /// transaction; the shard-side state is already released in that case.
+    fn read_many(&mut self, keys: &[Key]) -> Result<Vec<Option<V>>, TxError> {
+        keys.iter().map(|key| self.read(*key)).collect()
+    }
+
+    /// Writes every `(key, value)` pair of `entries` (all routed to this
+    /// shard) in one round. The default loops over [`ShardTxn::write`]; the
+    /// [`MvtlStore`] backend forwards to the store's batch-native path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError::Aborted`] when eager lock acquisition fails.
+    fn write_many(&mut self, entries: Vec<(Key, V)>) -> Result<(), TxError> {
+        for (key, value) in entries {
+            self.write(key, value)?;
+        }
+        Ok(())
+    }
+
     /// Commits directly, letting the shard's own policy pick the timestamp —
     /// the fast path for transactions that touched a single shard.
     ///
@@ -191,6 +219,16 @@ where
     fn write(&mut self, key: Key, value: V) -> Result<(), TxError> {
         let txn = self.txn.as_mut().expect("shard txn present until finished");
         self.store.write(txn, key, value)
+    }
+
+    fn read_many(&mut self, keys: &[Key]) -> Result<Vec<Option<V>>, TxError> {
+        let txn = self.txn.as_mut().expect("shard txn present until finished");
+        self.store.read_many(txn, keys)
+    }
+
+    fn write_many(&mut self, entries: Vec<(Key, V)>) -> Result<(), TxError> {
+        let txn = self.txn.as_mut().expect("shard txn present until finished");
+        self.store.write_many(txn, entries)
     }
 
     fn commit(mut self: Box<Self>) -> Result<CommitInfo, TxError> {

@@ -367,6 +367,72 @@ where
         }
     }
 
+    /// The batch-native sharded read: the batch is grouped by shard and each
+    /// participating shard serves its whole group in **one**
+    /// [`ShardTxn::read_many`] round, so an N-key batch costs O(shards)
+    /// coordination instead of O(keys). Sub-transactions still open lazily —
+    /// only shards that actually own batch keys are touched.
+    fn read_many(&self, txn: &mut Self::Txn, keys: &[Key]) -> Result<Vec<Option<V>>, TxError> {
+        if txn.poisoned {
+            return Err(TxError::TransactionFinished);
+        }
+        // Group key positions by shard, preserving input order within each
+        // group so results scatter back into place.
+        let mut groups: Vec<(Vec<Key>, Vec<usize>)> =
+            vec![(Vec::new(), Vec::new()); self.shards.len()];
+        for (pos, key) in keys.iter().enumerate() {
+            let (shard_keys, positions) = &mut groups[self.shard_of(*key)];
+            shard_keys.push(*key);
+            positions.push(pos);
+        }
+        let mut out: Vec<Option<V>> = vec![None; keys.len()];
+        for (shard, (shard_keys, positions)) in groups.into_iter().enumerate() {
+            if shard_keys.is_empty() {
+                continue;
+            }
+            let sub = txn.subs[shard]
+                .get_or_insert_with(|| self.shards[shard].begin(txn.process, Some(txn.base)));
+            match sub.read_many(&shard_keys) {
+                Ok(values) => {
+                    for (pos, value) in positions.into_iter().zip(values) {
+                        out[pos] = value;
+                    }
+                }
+                Err(err) => {
+                    txn.poison();
+                    return Err(err);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The batch-native sharded write: one [`ShardTxn::write_many`] round per
+    /// participating shard (same O(shards) argument as
+    /// [`read_many`](TransactionalKV::read_many); order within a shard group
+    /// is preserved, so last-value-wins semantics match sequential writes).
+    fn write_many(&self, txn: &mut Self::Txn, entries: Vec<(Key, V)>) -> Result<(), TxError> {
+        if txn.poisoned {
+            return Err(TxError::TransactionFinished);
+        }
+        let mut groups: Vec<Vec<(Key, V)>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (key, value) in entries {
+            groups[self.shard_of(key)].push((key, value));
+        }
+        for (shard, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let sub = txn.subs[shard]
+                .get_or_insert_with(|| self.shards[shard].begin(txn.process, Some(txn.base)));
+            if let Err(err) = sub.write_many(group) {
+                txn.poison();
+                return Err(err);
+            }
+        }
+        Ok(())
+    }
+
     fn commit(&self, mut txn: Self::Txn) -> Result<CommitInfo, TxError> {
         // The coordinator pin only has to cover the window in which new
         // sub-transactions can still open; from here on every touched shard

@@ -21,6 +21,10 @@
 //! * [`soak`] — the GC soak: the same sustained workload run GC-off and
 //!   GC-on against a real engine, asserting the §6 claim that the garbage
 //!   collector keeps versions + lock entries bounded ([`soak::gc_soak`]).
+//! * [`report`] — the machine-readable benchmark report: the registry grid
+//!   (uniform + zipf, batched + unbatched) serialized to a versioned
+//!   `BENCH_<name>.json` artifact ([`report::bench_report`]), which CI
+//!   uploads and future changes diff against.
 //!
 //! Every figure function takes a [`figures::Scale`]: `Quick` keeps runs small
 //! enough for CI and benchmarks, `Paper` uses parameter ranges matching the
@@ -30,11 +34,15 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod report;
 pub mod runner;
 pub mod soak;
 pub mod spec;
 
 pub use figures::{FigureRow, FigureTable, Scale};
-pub use runner::{run_closed_loop, RunnerMetrics, RunnerOptions};
+pub use report::{
+    bench_report, check_bench_report, BenchReport, BenchRow, ReportOptions, BENCH_SCHEMA_VERSION,
+};
+pub use runner::{execute_template, run_closed_loop, RunnerMetrics, RunnerOptions};
 pub use soak::{gc_soak, SoakOptions, SoakReport};
 pub use spec::{KeyDist, KeySampler, TxTemplate, WorkloadSpec};

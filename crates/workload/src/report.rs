@@ -1,0 +1,493 @@
+//! The machine-readable benchmark report: the `BENCH_<name>.json` artifact.
+//!
+//! [`bench_report`] runs the registry-driven engine grid — every
+//! `mvtl_registry::all_specs()` engine, under uniform and zipf(0.99) key
+//! skew, batched and unbatched — through the threaded closed-loop runner and
+//! collects one [`BenchRow`] per cell: throughput, abort rate, state-size
+//! statistics and wall time. The whole [`BenchReport`] serializes to a
+//! **versioned** JSON document through the `serde_json` shim
+//! ([`BenchReport::to_json_string`] / [`BenchReport::from_json_str`] are
+//! exact inverses), which is what CI uploads as `BENCH_smoke.json` and what
+//! future changes diff their numbers against.
+//!
+//! The JSON schema (version 1):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "name": "smoke",
+//!   "seed": 42,
+//!   "wall_secs": 12.5,
+//!   "rows": [
+//!     {
+//!       "spec": "sharded?shards=8&inner=mvtil-early",
+//!       "engine": "sharded",
+//!       "dist": "zipf(0.99)",
+//!       "batch": 8,
+//!       "clients": 4,
+//!       "committed": 1234,
+//!       "aborted": 56,
+//!       "elapsed_secs": 0.08,
+//!       "throughput_tps": 15425.0,
+//!       "abort_rate": 0.043,
+//!       "locks": 321,
+//!       "versions": 654,
+//!       "purged_versions": 0,
+//!       "keys": 512
+//!     }
+//!   ]
+//! }
+//! ```
+
+use crate::runner::{run_closed_loop, RunnerOptions};
+use crate::spec::{KeyDist, WorkloadSpec};
+use crate::Scale;
+use mvtl_registry::EngineSpec;
+use serde_json::Value;
+use std::time::{Duration, Instant};
+
+/// Version of the `BENCH_*.json` schema written by [`BenchReport`]. Bump it
+/// when a field is renamed, removed or reinterpreted; adding fields is
+/// backward compatible.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// One grid cell: a single closed-loop run of one engine spec under one key
+/// distribution and batch size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// The full engine spec the run was built from.
+    pub spec: String,
+    /// The engine's base name (what `Engine::name` reports).
+    pub engine: String,
+    /// Key-distribution label ("uniform", "zipf(0.99)", ...).
+    pub dist: String,
+    /// Batch size the runner used (1 = op-by-op).
+    pub batch: usize,
+    /// Number of client threads.
+    pub clients: usize,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted transaction attempts.
+    pub aborted: u64,
+    /// Measured wall-clock duration of the run in seconds.
+    pub elapsed_secs: f64,
+    /// Commits per second.
+    pub throughput_tps: f64,
+    /// Fraction of attempts that aborted.
+    pub abort_rate: f64,
+    /// Lock entries resident at the end of the run.
+    pub locks: usize,
+    /// Stored versions resident at the end of the run.
+    pub versions: usize,
+    /// Versions purged (by GC or commit-time cleanup) during the run.
+    pub purged_versions: usize,
+    /// Keys owning engine state at the end of the run.
+    pub keys: usize,
+}
+
+impl BenchRow {
+    fn to_json(&self) -> Value {
+        Value::Object(vec![
+            ("spec".to_string(), Value::from(self.spec.clone())),
+            ("engine".to_string(), Value::from(self.engine.clone())),
+            ("dist".to_string(), Value::from(self.dist.clone())),
+            ("batch".to_string(), Value::from(self.batch)),
+            ("clients".to_string(), Value::from(self.clients)),
+            ("committed".to_string(), Value::from(self.committed)),
+            ("aborted".to_string(), Value::from(self.aborted)),
+            ("elapsed_secs".to_string(), Value::from(self.elapsed_secs)),
+            (
+                "throughput_tps".to_string(),
+                Value::from(self.throughput_tps),
+            ),
+            ("abort_rate".to_string(), Value::from(self.abort_rate)),
+            ("locks".to_string(), Value::from(self.locks)),
+            ("versions".to_string(), Value::from(self.versions)),
+            (
+                "purged_versions".to_string(),
+                Value::from(self.purged_versions),
+            ),
+            ("keys".to_string(), Value::from(self.keys)),
+        ])
+    }
+
+    fn from_json(value: &Value) -> Result<BenchRow, String> {
+        Ok(BenchRow {
+            spec: req_str(value, "spec")?,
+            engine: req_str(value, "engine")?,
+            dist: req_str(value, "dist")?,
+            batch: req_u64(value, "batch")? as usize,
+            clients: req_u64(value, "clients")? as usize,
+            committed: req_u64(value, "committed")?,
+            aborted: req_u64(value, "aborted")?,
+            elapsed_secs: req_f64(value, "elapsed_secs")?,
+            throughput_tps: req_f64(value, "throughput_tps")?,
+            abort_rate: req_f64(value, "abort_rate")?,
+            locks: req_u64(value, "locks")? as usize,
+            versions: req_u64(value, "versions")? as usize,
+            purged_versions: req_u64(value, "purged_versions")? as usize,
+            keys: req_u64(value, "keys")? as usize,
+        })
+    }
+}
+
+/// A whole benchmark run: the versioned artifact CI uploads as
+/// `BENCH_<name>.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema version of the document ([`BENCH_SCHEMA_VERSION`] on write).
+    pub schema_version: u32,
+    /// Report name; the artifact file is `BENCH_<name>.json`.
+    pub name: String,
+    /// Base seed every run derived its RNG streams from.
+    pub seed: u64,
+    /// Total wall-clock time spent producing the report, in seconds.
+    pub wall_secs: f64,
+    /// One row per grid cell.
+    pub rows: Vec<BenchRow>,
+}
+
+fn req<'v>(value: &'v Value, field: &str) -> Result<&'v Value, String> {
+    value.get(field).ok_or_else(|| format!("missing {field:?}"))
+}
+
+fn req_str(value: &Value, field: &str) -> Result<String, String> {
+    req(value, field)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{field:?} is not a string"))
+}
+
+fn req_u64(value: &Value, field: &str) -> Result<u64, String> {
+    req(value, field)?
+        .as_u64()
+        .ok_or_else(|| format!("{field:?} is not a non-negative integer"))
+}
+
+fn req_f64(value: &Value, field: &str) -> Result<f64, String> {
+    req(value, field)?
+        .as_f64()
+        .ok_or_else(|| format!("{field:?} is not a number"))
+}
+
+impl BenchReport {
+    /// The report as a `serde_json` value tree.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Object(vec![
+            (
+                "schema_version".to_string(),
+                Value::from(self.schema_version),
+            ),
+            ("name".to_string(), Value::from(self.name.clone())),
+            ("seed".to_string(), Value::from(self.seed)),
+            ("wall_secs".to_string(), Value::from(self.wall_secs)),
+            (
+                "rows".to_string(),
+                Value::Array(self.rows.iter().map(BenchRow::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Serializes the report as pretty-printed JSON — the exact bytes of the
+    /// `BENCH_<name>.json` artifact.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let mut out = serde_json::to_string_pretty(&self.to_json());
+        out.push('\n');
+        out
+    }
+
+    /// Parses a report back from its JSON serialization.
+    /// [`BenchReport::to_json_string`] and this function are exact inverses
+    /// (floats included), which the CI smoke step asserts on every run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first problem: JSON syntax errors,
+    /// missing or mistyped fields, or an unsupported `schema_version`.
+    pub fn from_json_str(input: &str) -> Result<BenchReport, String> {
+        let value = serde_json::from_str(input).map_err(|e| e.to_string())?;
+        let schema_version = req_u64(&value, "schema_version")? as u32;
+        if schema_version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {schema_version} (this build reads \
+                 {BENCH_SCHEMA_VERSION})"
+            ));
+        }
+        let rows = req(&value, "rows")?
+            .as_array()
+            .ok_or_else(|| "\"rows\" is not an array".to_string())?
+            .iter()
+            .map(BenchRow::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchReport {
+            schema_version,
+            name: req_str(&value, "name")?,
+            seed: req_u64(&value, "seed")?,
+            wall_secs: req_f64(&value, "wall_secs")?,
+            rows,
+        })
+    }
+
+    /// The rows of one engine spec, in grid order.
+    #[must_use]
+    pub fn rows_for(&self, spec: &str) -> Vec<&BenchRow> {
+        self.rows.iter().filter(|r| r.spec == spec).collect()
+    }
+
+    /// Renders a compact aligned summary table (one line per row).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "# bench-report {} (seed {}, {:.1} s wall)\n{:<44} {:<12} {:>5} {:>14} {:>10}\n",
+            self.name,
+            self.seed,
+            self.wall_secs,
+            "spec",
+            "dist",
+            "batch",
+            "throughput_tps",
+            "abort%"
+        );
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<44} {:<12} {:>5} {:>14.1} {:>10.2}\n",
+                row.spec,
+                row.dist,
+                row.batch,
+                row.throughput_tps,
+                row.abort_rate * 100.0,
+            ));
+        }
+        out
+    }
+}
+
+/// Options of a [`bench_report`] run.
+#[derive(Debug, Clone)]
+pub struct ReportOptions {
+    /// How big a grid to run (duration per cell, client counts).
+    pub scale: Scale,
+    /// Batch sizes to sweep (1 = op-by-op). Sorted and deduplicated before
+    /// the grid runs, so duplicates neither re-run cells nor skew the
+    /// [`check_bench_report`] cell count.
+    pub batches: Vec<usize>,
+    /// Key distributions to sweep.
+    pub dists: Vec<KeyDist>,
+    /// Number of client threads per run.
+    pub clients: usize,
+    /// Base seed shared by every run (CI passes `--seed` for reproducible
+    /// reruns).
+    pub seed: u64,
+}
+
+impl Default for ReportOptions {
+    fn default() -> Self {
+        ReportOptions {
+            scale: Scale::Smoke,
+            batches: vec![1, 8],
+            dists: vec![KeyDist::Uniform, KeyDist::Zipf { theta: 0.99 }],
+            clients: 4,
+            seed: 42,
+        }
+    }
+}
+
+impl ReportOptions {
+    fn duration(&self) -> Duration {
+        match self.scale {
+            Scale::Smoke => Duration::from_millis(80),
+            Scale::Quick => Duration::from_millis(250),
+            Scale::Paper => Duration::from_millis(1_000),
+        }
+    }
+
+    /// The batch sizes actually swept: sorted and deduplicated, so a
+    /// repeated entry in `batches` neither runs a cell twice nor makes
+    /// [`check_bench_report`]'s expected cell count disagree with the grid
+    /// the runner produced.
+    fn normalized_batches(&self) -> Vec<usize> {
+        let mut batches = self.batches.clone();
+        batches.sort_unstable();
+        batches.dedup();
+        batches
+    }
+}
+
+/// Runs the full engine grid — every `mvtl_registry::all_specs()` engine ×
+/// every distribution × every batch size in `options` — and returns the
+/// machine-readable report.
+///
+/// # Panics
+///
+/// Panics when a registry spec fails to build: a report over a broken spec
+/// should abort the caller (CI) rather than silently drop the engine from
+/// the artifact.
+#[must_use]
+pub fn bench_report(name: &str, options: &ReportOptions) -> BenchReport {
+    let started = Instant::now();
+    let batches = options.normalized_batches();
+    let mut rows = Vec::new();
+    for dist in &options.dists {
+        for &batch in &batches {
+            for spec in mvtl_registry::all_specs() {
+                let engine = mvtl_registry::build(spec)
+                    .unwrap_or_else(|e| panic!("bench-report spec {spec:?} must build: {e}"));
+                let metrics = run_closed_loop(
+                    engine.as_ref(),
+                    &RunnerOptions {
+                        clients: options.clients,
+                        duration: options.duration(),
+                        spec: WorkloadSpec::new(8, 0.25, 512)
+                            .with_dist(*dist)
+                            .with_batch(batch),
+                        seed: options.seed,
+                    },
+                    |v| v,
+                );
+                let attempts = metrics.committed + metrics.aborted;
+                rows.push(BenchRow {
+                    spec: spec.to_string(),
+                    engine: EngineSpec::base_name(spec).to_string(),
+                    dist: dist.label(),
+                    batch,
+                    clients: options.clients,
+                    committed: metrics.committed,
+                    aborted: metrics.aborted,
+                    elapsed_secs: metrics.elapsed_secs,
+                    throughput_tps: metrics.throughput_tps(),
+                    abort_rate: if attempts == 0 {
+                        0.0
+                    } else {
+                        metrics.aborted as f64 / attempts as f64
+                    },
+                    locks: metrics.stats_end.lock_entries,
+                    versions: metrics.stats_end.versions,
+                    purged_versions: metrics.stats_end.purged_versions,
+                    keys: metrics.stats_end.keys,
+                });
+            }
+        }
+    }
+    BenchReport {
+        schema_version: BENCH_SCHEMA_VERSION,
+        name: name.to_string(),
+        seed: options.seed,
+        wall_secs: started.elapsed().as_secs_f64(),
+        rows,
+    }
+}
+
+/// Checks a grid report for the invariants the CI smoke step relies on:
+/// every registered engine appears for every requested (dist, batch) cell
+/// and every row committed transactions.
+///
+/// # Panics
+///
+/// Panics with a description of the first violated invariant.
+pub fn check_bench_report(report: &BenchReport, options: &ReportOptions) {
+    let cells = options.dists.len() * options.normalized_batches().len();
+    for spec in mvtl_registry::all_specs() {
+        let rows = report.rows_for(spec);
+        assert_eq!(
+            rows.len(),
+            cells,
+            "engine {spec:?}: expected one row per (dist, batch) cell"
+        );
+        for row in rows {
+            assert!(
+                row.committed > 0 && row.throughput_tps > 0.0,
+                "engine {spec:?} stopped committing (dist {}, batch {})",
+                row.dist,
+                row.batch
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_options() -> ReportOptions {
+        ReportOptions {
+            scale: Scale::Smoke,
+            batches: vec![1, 4],
+            dists: vec![KeyDist::Uniform],
+            clients: 2,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json_exactly() {
+        let report = BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            name: "unit".to_string(),
+            seed: 99,
+            wall_secs: 1.0 / 3.0,
+            rows: vec![BenchRow {
+                spec: "sharded?shards=8&inner=mvtil-early".to_string(),
+                engine: "sharded".to_string(),
+                dist: "zipf(0.99)".to_string(),
+                batch: 8,
+                clients: 4,
+                committed: 12_345,
+                aborted: 67,
+                elapsed_secs: 0.081_234_567_89,
+                throughput_tps: 152_407.407_407,
+                abort_rate: 0.005_396,
+                locks: 321,
+                versions: 654,
+                purged_versions: 9,
+                keys: 512,
+            }],
+        };
+        let rendered = report.to_json_string();
+        let parsed = BenchReport::from_json_str(&rendered).unwrap();
+        assert_eq!(parsed, report);
+        // Serializing the parse again is byte-identical (stable field order).
+        assert_eq!(parsed.to_json_string(), rendered);
+    }
+
+    #[test]
+    fn from_json_rejects_bad_documents() {
+        assert!(BenchReport::from_json_str("not json").is_err());
+        assert!(BenchReport::from_json_str("{}").is_err());
+        let err = BenchReport::from_json_str(
+            r#"{"schema_version": 999, "name": "x", "seed": 1, "wall_secs": 0, "rows": []}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+        let err = BenchReport::from_json_str(
+            r#"{"schema_version": 1, "name": "x", "seed": 1, "wall_secs": 0, "rows": [{}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("spec"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_batch_entries_run_once_and_still_pass_the_check() {
+        let options = ReportOptions {
+            batches: vec![4, 1, 4],
+            dists: vec![KeyDist::Uniform],
+            clients: 1,
+            ..tiny_options()
+        };
+        let report = bench_report("unit-dup", &options);
+        check_bench_report(&report, &options);
+        let specs = mvtl_registry::all_specs().len();
+        assert_eq!(report.rows.len(), 2 * specs, "each batch size ran once");
+    }
+
+    #[test]
+    fn smoke_grid_covers_every_engine_and_round_trips() {
+        let options = tiny_options();
+        let report = bench_report("unit-smoke", &options);
+        check_bench_report(&report, &options);
+        let parsed = BenchReport::from_json_str(&report.to_json_string()).unwrap();
+        assert_eq!(parsed, report);
+        assert!(report.render().contains("bench-report unit-smoke"));
+    }
+}
