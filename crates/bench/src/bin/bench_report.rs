@@ -93,6 +93,24 @@ fn main() {
         "batched mvtil-early fell below op-by-op ({batched:.0} < {unbatched:.0} tps)"
     );
 
+    // Fault-layer overhead gate: wrapping every shard in FaultyBackend with
+    // a schedule that never fires (probability 0) must leave the sharded
+    // engine's throughput intact — the decorator's fault-free path is a few
+    // atomic counter bumps, not locks or sleeps. The 0.5× floor absorbs
+    // shared-runner noise while still catching anything structural.
+    let plain = micro_tps("sharded?shards=4", 1, seed);
+    let wrapped = micro_tps("sharded?shards=4&fault=delay:0.0:1", 1, seed);
+    println!(
+        "# fault-layer overhead sharded: plain {plain:.0} tps, no-op schedule {wrapped:.0} tps \
+         ({:.2}x)",
+        wrapped / plain.max(1.0)
+    );
+    assert!(
+        wrapped >= 0.5 * plain,
+        "a never-firing fault schedule halved sharded throughput \
+         ({wrapped:.0} < 0.5 * {plain:.0} tps)"
+    );
+
     // The sharded engine's batched grid rows must keep committing — the
     // one-round-per-shard path is asserted structurally in
     // crates/shard/tests/batched.rs; here we gate that it stays live at

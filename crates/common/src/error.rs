@@ -47,6 +47,20 @@ pub enum AbortReason {
         /// Key access that exhausted the interval.
         key: Key,
     },
+    /// The cross-shard coordinator (§7) timed out waiting for a participant's
+    /// prepare response and resolved the commit by presumed abort.
+    PrepareTimedOut {
+        /// Index of the shard that had not answered when the timeout fired.
+        shard: u32,
+    },
+    /// A participant shard crashed mid-prepare: its volatile lock state was
+    /// lost between `prepare` and the coordinator's decision, so the
+    /// sub-transaction (and therefore the whole transaction) is presumed
+    /// aborted.
+    ParticipantCrashed {
+        /// Index of the shard that crashed.
+        shard: u32,
+    },
 }
 
 impl fmt::Display for AbortReason {
@@ -66,6 +80,12 @@ impl fmt::Display for AbortReason {
             AbortReason::UserRequested => write!(f, "abort requested by user"),
             AbortReason::IntervalExhausted { key } => {
                 write!(f, "candidate timestamp interval exhausted at {key}")
+            }
+            AbortReason::PrepareTimedOut { shard } => {
+                write!(f, "prepare on shard {shard} timed out; presumed abort")
+            }
+            AbortReason::ParticipantCrashed { shard } => {
+                write!(f, "shard {shard} crashed mid-prepare; presumed abort")
             }
         }
     }
@@ -147,6 +167,8 @@ mod tests {
             AbortReason::CommitmentDecidedAbort,
             AbortReason::UserRequested,
             AbortReason::IntervalExhausted { key: Key(4) },
+            AbortReason::PrepareTimedOut { shard: 3 },
+            AbortReason::ParticipantCrashed { shard: 7 },
         ];
         for r in reasons {
             let s = TxError::aborted(r).to_string();

@@ -54,8 +54,9 @@ use mvtl_core::policy::{
     PrioPolicy, ToPolicy,
 };
 use mvtl_core::{MvtlConfig, MvtlStore};
+use mvtl_faults::{FaultPlan, FaultSpec};
 use mvtl_gc::{GcConfig, GcEngine};
-use mvtl_shard::{IntersectionPick, MvtlBackend, ShardBackend, ShardedStore};
+use mvtl_shard::{FaultyBackend, IntersectionPick, MvtlBackend, ShardBackend, ShardedStore};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -235,6 +236,12 @@ pub const DEFAULT_SHARD_INNER: &str = "mvtil-early";
 /// `gc_lag_ms`: the purge bound trails the clock by this much on top of the
 /// active-transaction watermark.
 pub const DEFAULT_GC_LAG_MS: u64 = 50;
+/// Default fault-plan seed when a spec sets `fault=` but omits `fault_seed`.
+pub const DEFAULT_FAULT_SEED: u64 = 42;
+/// Default coordinator prepare timeout (milliseconds) armed automatically for
+/// fault schedules that can make a prepare miss the deadline (`drop`/`stall`
+/// clauses), when the spec omits `commit_timeout_ms`.
+pub const DEFAULT_COMMIT_TIMEOUT_MS: u64 = 250;
 
 /// One canonical spec per registered engine, for sweeps.
 ///
@@ -438,6 +445,15 @@ where
 /// `gc_ms` set (consumed by [`build_for`]), the single service attached to
 /// the returned engine sweeps *all* shards through
 /// [`ShardedStore::purge_below`] under the store's aggregated low watermark.
+///
+/// Fault injection: `fault` (a `mvtl-faults` schedule string such as
+/// `delay:0.4:200|crash:0.1`; every shard backend is wrapped in a
+/// [`FaultyBackend`] consulting one shared seeded [`FaultPlan`]), `fault_seed`
+/// (plan seed, default [`DEFAULT_FAULT_SEED`]; requires `fault`), and
+/// `commit_timeout_ms` (the coordinator's prepare timeout — cross-shard
+/// commits unresolved within it are presumed aborted; standalone use is fine,
+/// and schedules whose faults can outlast the coordinator's patience —
+/// `drop`/`stall` clauses — arm [`DEFAULT_COMMIT_TIMEOUT_MS`] automatically).
 fn sharded_engine<V>(
     clock: Arc<GlobalClock>,
     parsed: &mut EngineSpec,
@@ -468,6 +484,33 @@ where
                 param: "pick".to_string(),
                 value: other.to_string(),
             })
+        }
+    };
+    let fault = parsed.take("fault");
+    let fault_seed = parsed.take_parsed::<u64>("fault_seed")?;
+    let commit_timeout_ms = parsed.take_parsed::<u64>("commit_timeout_ms")?;
+    if fault.is_none() && fault_seed.is_some() {
+        return Err(SpecError::Malformed {
+            detail: "fault_seed requires fault (no fault plan without a schedule)".to_string(),
+        });
+    }
+    if commit_timeout_ms == Some(0) {
+        return Err(SpecError::InvalidValue {
+            param: "commit_timeout_ms".to_string(),
+            value: "0".to_string(),
+        });
+    }
+    let fault_plan = match fault {
+        None => None,
+        Some(schedule) => {
+            let spec = FaultSpec::parse(&schedule).map_err(|err| SpecError::InvalidValue {
+                param: "fault".to_string(),
+                value: format!("{schedule} ({})", err.detail),
+            })?;
+            Some(Arc::new(FaultPlan::new(
+                spec,
+                fault_seed.unwrap_or(DEFAULT_FAULT_SEED),
+            )))
         }
     };
     let mut config = MvtlConfig::default();
@@ -543,7 +586,22 @@ where
             });
         }
     };
-    let store = ShardedStore::new(backends, Arc::clone(&clock), pick);
+    let backends = match &fault_plan {
+        None => backends,
+        Some(plan) => FaultyBackend::wrap_all(backends, plan),
+    };
+    let mut store = ShardedStore::new(backends, Arc::clone(&clock), pick);
+    // Arm the coordinator's presumed-abort timeout when asked for explicitly,
+    // or when the schedule can withhold a prepare past any finite patience.
+    let timeout_ms = commit_timeout_ms.or_else(|| {
+        fault_plan
+            .as_ref()
+            .filter(|plan| plan.spec().needs_commit_timeout())
+            .map(|_| DEFAULT_COMMIT_TIMEOUT_MS)
+    });
+    if let Some(ms) = timeout_ms {
+        store = store.with_commit_timeout(Duration::from_millis(ms));
+    }
     Ok(maybe_gc(store, clock, service))
 }
 

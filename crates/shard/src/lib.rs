@@ -56,9 +56,11 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod faults;
 mod store;
 
 pub use backend::{MvtlBackend, PreparedShardTxn, ShardBackend, ShardTxn};
+pub use faults::FaultyBackend;
 pub use store::{IntersectionPick, ShardedStore, ShardedTxn};
 
 #[cfg(test)]

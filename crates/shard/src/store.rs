@@ -10,7 +10,10 @@ use mvtl_core::policy::LockingPolicy;
 use mvtl_core::MvtlConfig;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
 
 /// Which timestamp the coordinator picks from the non-empty intersection of
 /// the shards' frozen intervals. Mirrors MVTIL-early / MVTIL-late (§8): any
@@ -53,6 +56,25 @@ pub struct ShardedStore<V> {
     /// its lazily opened sub-transactions register with the shard-level
     /// registries (and any shard it never touches).
     active: ActiveTxnRegistry,
+    /// How long the coordinator waits for all participants' `prepare`
+    /// responses before resolving the commit by presumed abort. `None`
+    /// (the default) runs prepares inline with no timeout — the friendly-
+    /// machine fast path with zero threading overhead.
+    commit_timeout: Option<Duration>,
+}
+
+/// The coordinator's view of one participant's in-flight `prepare` when a
+/// commit timeout is armed: the helper thread and the coordinator race for
+/// the slot, and whoever loses the race is responsible for aborting an
+/// undecided prepared sub-transaction (the presumed-abort rule).
+enum PrepareSlot<V> {
+    /// The helper thread has not delivered yet.
+    Pending,
+    /// The helper delivered its prepare result; the coordinator takes it.
+    Delivered(Result<Box<dyn PreparedShardTxn<V>>, TxError>),
+    /// The coordinator gave up (timeout or another shard's failure) before
+    /// delivery: a late-arriving successful prepare must abort itself.
+    Abandoned,
 }
 
 impl<V> ShardedStore<V>
@@ -76,7 +98,28 @@ where
             clock,
             pick,
             active: ActiveTxnRegistry::new(),
+            commit_timeout: None,
         }
+    }
+
+    /// Arms the coordinator's prepare timeout: a cross-shard commit whose
+    /// participants have not all answered `prepare` within `timeout` is
+    /// resolved by **presumed abort** — every delivered prepared
+    /// sub-transaction is aborted, undelivered ones abort themselves on
+    /// arrival, and the commit fails with
+    /// [`AbortReason::PrepareTimedOut`]. Without a timeout (the default)
+    /// prepares run inline and a stalled shard blocks the commit
+    /// indefinitely.
+    #[must_use]
+    pub fn with_commit_timeout(mut self, timeout: Duration) -> Self {
+        self.commit_timeout = Some(timeout);
+        self
+    }
+
+    /// The armed coordinator prepare timeout, if any.
+    #[must_use]
+    pub fn commit_timeout(&self) -> Option<Duration> {
+        self.commit_timeout
     }
 
     /// Builds a sharded store whose shards are [`MvtlStore`]s sharing one
@@ -171,34 +214,165 @@ where
             .min()
     }
 
-    /// The §7 coordinator: prepare every participant, intersect the frozen
-    /// intervals, then commit everywhere at one common timestamp — or abort
-    /// everywhere when the intersection is empty.
-    fn commit_cross_shard(
-        &self,
-        tx: TxId,
-        participants: Vec<Box<dyn ShardTxn<V>>>,
-    ) -> Result<CommitInfo, TxError> {
-        // Phase 1: freeze each participant's interval.
+    /// Phase 1 without a timeout: prepare participants inline, one after the
+    /// other. A failing shard has already released its own state; the
+    /// coordinator releases everyone else's.
+    fn prepare_inline(
+        participants: Vec<(usize, Box<dyn ShardTxn<V>>)>,
+    ) -> Result<Vec<Box<dyn PreparedShardTxn<V>>>, TxError> {
         let mut prepared: Vec<Box<dyn PreparedShardTxn<V>>> =
             Vec::with_capacity(participants.len());
         let mut participants = participants.into_iter();
-        for sub in participants.by_ref() {
+        for (_, sub) in participants.by_ref() {
             match sub.prepare() {
                 Ok(p) => prepared.push(p),
                 Err(err) => {
-                    // The failing shard already released its own state;
-                    // release everyone else's.
                     for p in prepared {
                         p.abort();
                     }
-                    for sub in participants {
+                    for (_, sub) in participants {
                         sub.abort();
                     }
                     return Err(err);
                 }
             }
         }
+        Ok(prepared)
+    }
+
+    /// Phase 1 with a timeout: prepares run on helper threads and the
+    /// coordinator collects responses until `timeout` elapses. Recovery is
+    /// **presumed abort** — on timeout (or any shard's prepare failing) every
+    /// delivered prepared sub-transaction is aborted and every undelivered
+    /// slot is marked [`PrepareSlot::Abandoned`], so a late-arriving
+    /// successful prepare aborts itself instead of stranding frozen locks.
+    /// Every prepared sub-transaction therefore receives an *explicit*
+    /// decision: nothing is leaked, nothing is dropped undecided.
+    fn prepare_with_timeout(
+        participants: Vec<(usize, Box<dyn ShardTxn<V>>)>,
+        timeout: Duration,
+    ) -> Result<Vec<Box<dyn PreparedShardTxn<V>>>, TxError> {
+        let count = participants.len();
+        let shard_ids: Vec<usize> = participants.iter().map(|(shard, _)| *shard).collect();
+        let slots: Vec<Arc<Mutex<PrepareSlot<V>>>> = (0..count)
+            .map(|_| Arc::new(Mutex::new(PrepareSlot::Pending)))
+            .collect();
+        let (done_tx, done_rx) = mpsc::channel::<usize>();
+        for (idx, (_, sub)) in participants.into_iter().enumerate() {
+            let slot = Arc::clone(&slots[idx]);
+            let done = done_tx.clone();
+            thread::spawn(move || {
+                let result = sub.prepare();
+                let mut state = slot.lock().expect("prepare slot");
+                if matches!(*state, PrepareSlot::Abandoned) {
+                    // The coordinator already resolved the commit by
+                    // presumed abort; release this late prepare's locks.
+                    drop(state);
+                    if let Ok(p) = result {
+                        p.abort();
+                    }
+                } else {
+                    *state = PrepareSlot::Delivered(result);
+                    drop(state);
+                    let _ = done.send(idx);
+                }
+            });
+        }
+        drop(done_tx);
+
+        let deadline = Instant::now() + timeout;
+        let mut prepared: Vec<Option<Box<dyn PreparedShardTxn<V>>>> =
+            (0..count).map(|_| None).collect();
+        let mut remaining = count;
+        let mut failure: Option<TxError> = None;
+        while remaining > 0 {
+            let timed_out = |slots: &[Arc<Mutex<PrepareSlot<V>>>]| {
+                // Name a shard that had not answered when the timeout fired.
+                let shard = slots
+                    .iter()
+                    .position(|s| matches!(*s.lock().expect("prepare slot"), PrepareSlot::Pending))
+                    .map_or(0, |idx| shard_ids[idx]);
+                TxError::aborted(AbortReason::PrepareTimedOut {
+                    shard: shard as u32,
+                })
+            };
+            let Some(wait) = deadline.checked_duration_since(Instant::now()) else {
+                failure = Some(timed_out(&slots));
+                break;
+            };
+            match done_rx.recv_timeout(wait) {
+                Ok(idx) => {
+                    let state = std::mem::replace(
+                        &mut *slots[idx].lock().expect("prepare slot"),
+                        PrepareSlot::Pending,
+                    );
+                    match state {
+                        PrepareSlot::Delivered(Ok(p)) => {
+                            prepared[idx] = Some(p);
+                            remaining -= 1;
+                        }
+                        PrepareSlot::Delivered(Err(err)) => {
+                            failure = Some(err);
+                            break;
+                        }
+                        _ => {
+                            failure = Some(TxError::Internal(
+                                "prepare slot signalled without a delivery".into(),
+                            ));
+                            break;
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    failure = Some(timed_out(&slots));
+                    break;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    failure = Some(TxError::Internal(
+                        "prepare worker vanished before delivering".into(),
+                    ));
+                    break;
+                }
+            }
+        }
+
+        if let Some(err) = failure {
+            // Presumed abort: explicitly abort everything delivered, and
+            // abandon every other slot so its helper aborts on arrival.
+            for p in prepared.iter_mut().filter_map(Option::take) {
+                p.abort();
+            }
+            for slot in &slots {
+                let state = std::mem::replace(
+                    &mut *slot.lock().expect("prepare slot"),
+                    PrepareSlot::Abandoned,
+                );
+                if let PrepareSlot::Delivered(Ok(p)) = state {
+                    p.abort();
+                }
+            }
+            return Err(err);
+        }
+        Ok(prepared
+            .into_iter()
+            .map(|p| p.expect("all slots delivered on success"))
+            .collect())
+    }
+
+    /// The §7 coordinator: prepare every participant, intersect the frozen
+    /// intervals, then commit everywhere at one common timestamp — or abort
+    /// everywhere when the intersection is empty.
+    fn commit_cross_shard(
+        &self,
+        tx: TxId,
+        participants: Vec<(usize, Box<dyn ShardTxn<V>>)>,
+    ) -> Result<CommitInfo, TxError> {
+        // Phase 1: freeze each participant's interval — inline on the
+        // friendly path, with timeout + presumed-abort recovery when armed.
+        let prepared = match self.commit_timeout {
+            None => Self::prepare_inline(participants)?,
+            Some(timeout) => Self::prepare_with_timeout(participants, timeout)?,
+        };
 
         // Phase 2: intersect the frozen intervals.
         let mut intersection: TsSet = prepared[0].interval().clone();
@@ -443,8 +617,12 @@ where
         if txn.poisoned {
             return Err(TxError::TransactionFinished);
         }
-        let mut participants: Vec<Box<dyn ShardTxn<V>>> =
-            txn.subs.iter_mut().filter_map(Option::take).collect();
+        let mut participants: Vec<(usize, Box<dyn ShardTxn<V>>)> = txn
+            .subs
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(shard, sub)| sub.take().map(|sub| (shard, sub)))
+            .collect();
         match participants.len() {
             // A transaction that touched nothing commits trivially.
             0 => Ok(CommitInfo {
@@ -458,6 +636,7 @@ where
             1 => participants
                 .pop()
                 .expect("one participant")
+                .1
                 .commit()
                 .map(|mut info| {
                     info.tx = txn.id;

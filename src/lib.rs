@@ -12,6 +12,7 @@
 //! | [`storage`] | `mvtl-storage` | multiversion value store with purging |
 //! | [`clock`] | `mvtl-clock` | clock sources and the timestamp service |
 //! | [`core`] | `mvtl-core` | the generic MVTL engine and every policy of §5 |
+//! | [`faults`] | `mvtl-faults` | deterministic, seeded fault-injection plans (the `fault=` schedules) |
 //! | [`gc`] | `mvtl-gc` | watermark-safe background garbage collection (§6's timestamp service for the real engines) |
 //! | [`baselines`] | `mvtl-baselines` | MVTO+ and strict 2PL |
 //! | [`registry`] | `mvtl-registry` | string-spec engine factory (`"mvtil-early?delta=1000"` → `Box<dyn Engine>`) |
@@ -54,6 +55,7 @@ pub use mvtl_baselines as baselines;
 pub use mvtl_clock as clock;
 pub use mvtl_common as common;
 pub use mvtl_core as core;
+pub use mvtl_faults as faults;
 pub use mvtl_gc as gc;
 pub use mvtl_locks as locks;
 pub use mvtl_registry as registry;
