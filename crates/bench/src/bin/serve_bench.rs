@@ -1,0 +1,258 @@
+//! Open-loop serve-path benchmark: the saturation-knee sweep behind the
+//! schema-v2 rows of `BENCH_<scale>.json`.
+//!
+//! For each served engine (one single-node, one sharded) the binary first
+//! measures the in-process closed-loop capacity `C` on the same workload,
+//! then starts a real TCP server (`mvtl-server`) and drives it open-loop at
+//! offered loads of 0.4×C, 0.8×C and 1.2×C (Poisson arrivals, seeded) plus
+//! one bursty point at 0.4×C. Each point records the client-observed
+//! arrival-to-completion latency distribution; the resulting rows carry
+//! `offered_tps`, achieved `throughput_tps`, `shed` and `p50/p99/p999`, and
+//! are merged into the `BENCH_<scale>.json` the closed-loop `bench_report`
+//! binary wrote (previous open rows are replaced, closed rows kept).
+//!
+//! Before exiting the binary gates what the CI smoke step relies on:
+//!
+//! * every open row has a non-zero p99 (latency was actually measured), and
+//! * at the low offered point the served path achieves at least 0.3× the
+//!   in-process closed-loop capacity — the wire, framing and threading
+//!   overhead must not swallow the engine.
+//!
+//! Pass `--smoke` / `--paper` for scale (default quick) and `--seed N` for
+//! reproducible reruns.
+
+use mvtl_common::StoreStats;
+use mvtl_server::{
+    run_open_loop, ArrivalProcess, DriverMetrics, DriverOptions, Server, ServerConfig,
+};
+use mvtl_workload::{
+    run_closed_loop, BenchReport, BenchRow, RunnerOptions, Scale, WorkloadSpec,
+    BENCH_SCHEMA_VERSION, MODE_CLOSED, MODE_OPEN,
+};
+use std::time::{Duration, Instant};
+
+/// The engines the sweep serves: one single-node MVTIL policy and the
+/// cross-shard composition (both must appear in the committed artifact).
+const SERVED_SPECS: &[&str] = &["mvtil-early", "sharded?shards=8&inner=mvtil-early"];
+
+/// Offered-load fractions of the measured closed-loop capacity. The low
+/// point doubles as the CI gate anchor; the last point deliberately exceeds
+/// capacity so the knee (queueing delay, shed arrivals) shows in the rows.
+const LOAD_FRACTIONS: &[f64] = &[0.4, 0.8, 1.2];
+
+/// Fraction of capacity at which the CI throughput gate is checked.
+const GATE_FRACTION: f64 = 0.4;
+/// The served path must achieve at least this fraction of the in-process
+/// closed-loop capacity at the low offered point.
+const GATE_FLOOR: f64 = 0.3;
+
+struct ScaleParams {
+    capacity_duration: Duration,
+    point_duration: Duration,
+}
+
+fn params(scale: Scale) -> ScaleParams {
+    match scale {
+        Scale::Smoke => ScaleParams {
+            capacity_duration: Duration::from_millis(200),
+            point_duration: Duration::from_millis(300),
+        },
+        Scale::Quick => ScaleParams {
+            capacity_duration: Duration::from_millis(400),
+            point_duration: Duration::from_millis(600),
+        },
+        Scale::Paper => ScaleParams {
+            capacity_duration: Duration::from_millis(1_000),
+            point_duration: Duration::from_millis(1_500),
+        },
+    }
+}
+
+/// The workload every serve-path point runs: the grid's §8.3 shape, batched
+/// so the pipelined wire path groups operations the way the in-process
+/// batched runner does.
+fn workload() -> WorkloadSpec {
+    WorkloadSpec::new(8, 0.25, 512).with_batch(8)
+}
+
+const CONNECTIONS: usize = 4;
+
+fn open_row(
+    spec: &str,
+    engine: &str,
+    arrivals: ArrivalProcess,
+    offered_tps: f64,
+    metrics: &DriverMetrics,
+    stats: StoreStats,
+) -> BenchRow {
+    let executed = metrics.committed + metrics.aborted;
+    BenchRow {
+        spec: spec.to_string(),
+        engine: engine.to_string(),
+        mode: MODE_OPEN.to_string(),
+        arrivals: arrivals.label(),
+        dist: "uniform".to_string(),
+        batch: workload().batch,
+        clients: CONNECTIONS,
+        offered_tps,
+        committed: metrics.committed,
+        aborted: metrics.aborted,
+        shed: metrics.shed,
+        elapsed_secs: metrics.elapsed_secs,
+        throughput_tps: metrics.achieved_tps(),
+        abort_rate: if executed == 0 {
+            0.0
+        } else {
+            metrics.aborted as f64 / executed as f64
+        },
+        p50_us: metrics.histogram.p50(),
+        p99_us: metrics.histogram.p99(),
+        p999_us: metrics.histogram.p999(),
+        locks: stats.lock_entries,
+        versions: stats.versions,
+        purged_versions: stats.purged_versions,
+        keys: stats.keys,
+    }
+}
+
+fn main() {
+    let scale = mvtl_bench::scale_from_args(std::env::args().skip(1));
+    let seed = mvtl_bench::seed_from_args(std::env::args().skip(1), 42);
+    let name = match scale {
+        Scale::Smoke => "smoke",
+        Scale::Quick => "quick",
+        Scale::Paper => "paper",
+    };
+    let params = params(scale);
+    let started = Instant::now();
+    let mut open_rows: Vec<BenchRow> = Vec::new();
+
+    for spec in SERVED_SPECS {
+        // 1. In-process closed-loop capacity on the same workload: the yard
+        //    stick both the offered-load sweep and the CI gate are scaled by.
+        let engine = mvtl_registry::build(spec).expect("served spec must build");
+        let capacity = run_closed_loop(
+            engine.as_ref(),
+            &RunnerOptions {
+                clients: CONNECTIONS,
+                duration: params.capacity_duration,
+                spec: workload(),
+                seed,
+            },
+            |v| v,
+        )
+        .throughput_tps()
+        .max(1.0);
+        println!("# serve-bench {spec}: in-process closed-loop capacity {capacity:.0} tps");
+
+        // 2. A real TCP server fronting a fresh engine of the same spec.
+        let server = Server::spawn(spec, "127.0.0.1:0").expect("server must start");
+        let engine_name = mvtl_registry::EngineSpec::base_name(spec);
+
+        // 3. The sweep: Poisson points across the knee, plus one bursty point
+        //    at the gate fraction to show clumped arrivals against the same
+        //    budget.
+        let mut sweeps: Vec<(ArrivalProcess, f64)> = LOAD_FRACTIONS
+            .iter()
+            .map(|f| (ArrivalProcess::Poisson, f * capacity))
+            .collect();
+        sweeps.push((
+            ArrivalProcess::Bursty { burst: 16 },
+            GATE_FRACTION * capacity,
+        ));
+
+        let mut gate_checked = false;
+        for (arrivals, offered_tps) in sweeps {
+            let metrics = run_open_loop(
+                server.addr(),
+                &DriverOptions {
+                    connections: CONNECTIONS,
+                    offered_tps,
+                    duration: params.point_duration,
+                    spec: workload(),
+                    seed,
+                    arrivals,
+                    queue_cap: 256,
+                },
+            )
+            .expect("open-loop run must complete");
+            let stats = mvtl_server::Connection::connect(server.addr())
+                .and_then(|mut c| c.stats())
+                .unwrap_or_default();
+            let row = open_row(spec, engine_name, arrivals, offered_tps, &metrics, stats);
+            println!(
+                "# serve-bench {spec} {} offered {:.0}: achieved {:.0} tps, shed {}, \
+                 p50 {} µs, p99 {} µs, p999 {} µs",
+                row.arrivals,
+                row.offered_tps,
+                row.throughput_tps,
+                row.shed,
+                row.p50_us,
+                row.p99_us,
+                row.p999_us
+            );
+
+            // CI gates, anchored at the low-offered Poisson point.
+            assert!(
+                row.p99_us > 0,
+                "{spec}: open-loop p99 missing — no latencies were recorded"
+            );
+            if arrivals == ArrivalProcess::Poisson
+                && (offered_tps - GATE_FRACTION * capacity).abs() < 1e-6
+            {
+                gate_checked = true;
+                assert!(
+                    row.throughput_tps >= GATE_FLOOR * capacity,
+                    "{spec}: served path achieved {:.0} tps at offered {:.0}, below \
+                     {GATE_FLOOR}x the in-process capacity {capacity:.0}",
+                    row.throughput_tps,
+                    row.offered_tps
+                );
+            }
+            open_rows.push(row);
+        }
+        assert!(gate_checked, "{spec}: sweep never hit the gate fraction");
+        drop(server);
+    }
+
+    // 4. Merge into the artifact the closed-loop bench_report wrote: keep its
+    //    closed rows, replace any previous open rows with this sweep.
+    let path = format!("BENCH_{name}.json");
+    let mut report = match std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|s| BenchReport::from_json_str(&s).ok())
+    {
+        Some(mut existing) => {
+            existing.rows.retain(|row| row.mode == MODE_CLOSED);
+            existing
+        }
+        None => BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            name: name.to_string(),
+            seed,
+            wall_secs: 0.0,
+            rows: Vec::new(),
+        },
+    };
+    report.wall_secs += started.elapsed().as_secs_f64();
+    report.rows.extend(open_rows);
+    let rendered = report.to_json_string();
+    std::fs::write(&path, &rendered).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    let parsed = BenchReport::from_json_str(&rendered)
+        .unwrap_or_else(|e| panic!("{path} does not parse back: {e}"));
+    assert_eq!(parsed, report, "{path}: JSON round-trip changed the report");
+    print!("{}", report.render());
+    println!(
+        "# wrote {path} ({} rows, {} open, schema v{})",
+        report.rows.len(),
+        report.rows.iter().filter(|r| r.mode == MODE_OPEN).count(),
+        report.schema_version
+    );
+
+    // Exercise the serve_-prefixed config parser on the same spec shape the
+    // server accepts, so a param regression fails the bench not just a test.
+    let (config, rest) =
+        ServerConfig::from_spec("mvtil-early?serve_max_txns=64").expect("serve params parse");
+    assert_eq!(config.max_txns, 64);
+    assert_eq!(rest, "mvtil-early");
+}

@@ -192,6 +192,40 @@ impl EngineSpec {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Splits `spec` into the parameters whose keys start with `prefix` (with
+    /// the prefix stripped) and the remaining spec string, ready for
+    /// [`build`].
+    ///
+    /// This is how front-ends layer their own knobs onto an engine spec
+    /// without the registry having to know them: the `mvtl-server` crate
+    /// configures itself from `serve_`-prefixed parameters
+    /// (`"mvtil-early?delta=500&serve_max_txns=64"` → server cap 64, engine
+    /// spec `"mvtil-early?delta=500"`), and anything left over is still
+    /// validated by the engine constructor as usual.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Malformed`] when `spec` does not parse.
+    pub fn split_prefixed(
+        spec: &str,
+        prefix: &str,
+    ) -> Result<(Vec<(String, String)>, String), SpecError> {
+        let parsed = EngineSpec::parse(spec)?;
+        let (prefixed, rest): (Vec<_>, Vec<_>) = parsed
+            .params
+            .into_iter()
+            .partition(|(k, _)| k.starts_with(prefix));
+        let prefixed = prefixed
+            .into_iter()
+            .map(|(k, v)| (k[prefix.len()..].to_string(), v))
+            .collect();
+        let remaining = EngineSpec {
+            name: parsed.name,
+            params: rest,
+        };
+        Ok((prefixed, remaining.to_string()))
+    }
+
     fn take(&mut self, key: &str) -> Option<String> {
         let idx = self.params.iter().position(|(k, _)| k == key)?;
         Some(self.params.remove(idx).1)
@@ -219,6 +253,18 @@ impl EngineSpec {
                 param,
             }),
         }
+    }
+}
+
+impl fmt::Display for EngineSpec {
+    /// Renders the spec back to its string form (`name?key=value&...`),
+    /// parseable by [`EngineSpec::parse`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        for (i, (key, value)) in self.params.iter().enumerate() {
+            write!(f, "{}{key}={value}", if i == 0 { '?' } else { '&' })?;
+        }
+        Ok(())
     }
 }
 
@@ -644,6 +690,48 @@ mod tests {
         assert_eq!(spec.get("delta"), None);
         // Peeking twice works: nothing was removed.
         assert_eq!(spec.get("shards"), Some("8"));
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for spec in [
+            "mvtil-early",
+            "sharded?shards=8&inner=mvtil-early",
+            "mvtl-pref?offset=-28,3&timeout_ms=20",
+        ] {
+            let parsed = EngineSpec::parse(spec).unwrap();
+            assert_eq!(parsed.to_string(), spec);
+            assert_eq!(EngineSpec::parse(&parsed.to_string()).unwrap(), parsed);
+        }
+    }
+
+    #[test]
+    fn split_prefixed_peels_front_end_params_off_the_engine_spec() {
+        let (serve, engine) = EngineSpec::split_prefixed(
+            "sharded?shards=4&serve_max_txns=64&inner=mvtl-to&serve_nodelay=0",
+            "serve_",
+        )
+        .unwrap();
+        assert_eq!(
+            serve,
+            vec![
+                ("max_txns".to_string(), "64".to_string()),
+                ("nodelay".to_string(), "0".to_string())
+            ]
+        );
+        assert_eq!(engine, "sharded?shards=4&inner=mvtl-to");
+        assert!(build(&engine).is_ok(), "remaining spec still builds");
+
+        // No prefixed params: the spec passes through unchanged.
+        let (serve, engine) = EngineSpec::split_prefixed("mvtil-early?delta=5", "serve_").unwrap();
+        assert!(serve.is_empty());
+        assert_eq!(engine, "mvtil-early?delta=5");
+
+        // Malformed specs are rejected at the split already.
+        assert!(matches!(
+            EngineSpec::split_prefixed("?x=1", "serve_"),
+            Err(SpecError::Malformed { .. })
+        ));
     }
 
     #[test]

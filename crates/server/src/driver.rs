@@ -1,0 +1,355 @@
+//! The open-loop client driver.
+//!
+//! The closed-loop runner in `mvtl-workload` measures capacity: each client
+//! submits its next transaction the moment the previous one finishes, so the
+//! system is always exactly as loaded as it can be and latency is hidden by
+//! the feedback loop. Production clients do not behave like that — arrivals
+//! come from outside at some *offered* rate regardless of how the server is
+//! doing (the open-system model of the OLTP measurement literature). This
+//! driver generates seeded Poisson or bursty arrival schedules against a
+//! serve-path endpoint and measures each transaction's latency **from its
+//! scheduled arrival instant**, so time spent queueing behind an overloaded
+//! server counts — that is where the saturation knee becomes visible as a
+//! tail-latency explosion rather than a throughput plateau.
+//!
+//! Arrivals are never throttled by completions. A bounded per-connection
+//! queue caps memory instead: when a transaction arrives while the queue is
+//! full, it is counted as *shed* and dropped, which keeps overloaded runs
+//! finite without turning the driver back into a closed loop.
+
+use crate::client::{Connection, TxnOutcome};
+use crate::hist::LatencyHistogram;
+use crate::wire::WireError;
+use mvtl_common::ProcessId;
+use mvtl_workload::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::net::ToSocketAddrs;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The arrival process shaping the open-loop schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals: exponential interarrival gaps of mean `1/λ`.
+    Poisson,
+    /// `burst` transactions arrive simultaneously every `burst/λ` — same
+    /// offered rate as Poisson, maximally clumped, to expose queueing tails
+    /// that average-rate measurements hide.
+    Bursty {
+        /// Number of simultaneous arrivals per burst (≥ 1).
+        burst: u32,
+    },
+}
+
+impl ArrivalProcess {
+    /// A short label for reports ("poisson", "bursty(16)").
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            ArrivalProcess::Poisson => "poisson".to_string(),
+            ArrivalProcess::Bursty { burst } => format!("bursty({burst})"),
+        }
+    }
+}
+
+/// Options of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct DriverOptions {
+    /// Number of client connections; the offered load is split evenly across
+    /// them and each runs its own seeded arrival schedule.
+    pub connections: usize,
+    /// Total offered load in transactions per second (> 0).
+    pub offered_tps: f64,
+    /// How long arrivals are generated for; queued work is drained afterwards.
+    pub duration: Duration,
+    /// Workload shape (ops per transaction, write fraction, key space, key
+    /// distribution, batch), identical to the closed-loop runner's.
+    pub spec: WorkloadSpec,
+    /// Base seed; each connection derives its own stream.
+    pub seed: u64,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Per-connection bound on arrivals waiting to start. An arrival finding
+    /// the queue full is shed (counted, not executed).
+    pub queue_cap: usize,
+}
+
+impl Default for DriverOptions {
+    fn default() -> Self {
+        DriverOptions {
+            connections: 4,
+            offered_tps: 1_000.0,
+            duration: Duration::from_millis(200),
+            spec: WorkloadSpec::default(),
+            seed: 42,
+            arrivals: ArrivalProcess::Poisson,
+            queue_cap: 1_024,
+        }
+    }
+}
+
+/// Aggregate results of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct DriverMetrics {
+    /// Arrivals the schedule generated (executed + shed).
+    pub offered: u64,
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Transactions that aborted (after the engine's own retry-free single
+    /// attempt — the driver does not retry; an abort is a completed outcome).
+    pub aborted: u64,
+    /// Arrivals dropped because the in-flight queue was full.
+    pub shed: u64,
+    /// Wall-clock seconds from the first scheduled arrival to the last
+    /// completion (includes the post-deadline drain).
+    pub elapsed_secs: f64,
+    /// Latency from scheduled arrival to completion, in microseconds, for
+    /// every executed transaction (committed or aborted).
+    pub histogram: LatencyHistogram,
+}
+
+impl DriverMetrics {
+    /// Committed transactions per second of elapsed wall-clock.
+    #[must_use]
+    pub fn achieved_tps(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / self.elapsed_secs
+        }
+    }
+
+    /// Fraction of executed transactions that committed.
+    #[must_use]
+    pub fn commit_rate(&self) -> f64 {
+        let executed = self.committed + self.aborted;
+        if executed == 0 {
+            0.0
+        } else {
+            self.committed as f64 / executed as f64
+        }
+    }
+}
+
+/// Draws the gap to the next arrival (or batch of arrivals) and how many
+/// arrive together at that instant.
+fn next_gap(arrivals: ArrivalProcess, per_conn_tps: f64, rng: &mut StdRng) -> (Duration, u32) {
+    match arrivals {
+        ArrivalProcess::Poisson => {
+            let u: f64 = rng.gen();
+            // Inverse-CDF exponential; 1-u is in (0, 1] so the log is finite.
+            let secs = -(1.0 - u).ln() / per_conn_tps;
+            (Duration::from_secs_f64(secs.min(1e6)), 1)
+        }
+        ArrivalProcess::Bursty { burst } => {
+            let burst = burst.max(1);
+            (
+                Duration::from_secs_f64(f64::from(burst) / per_conn_tps),
+                burst,
+            )
+        }
+    }
+}
+
+/// Sleeps until `deadline`, using the OS sleep for the coarse part and a spin
+/// for the last stretch so sub-millisecond interarrival gaps stay accurate.
+fn sleep_until(deadline: Instant) {
+    loop {
+        let now = Instant::now();
+        let Some(remaining) = deadline.checked_duration_since(now) else {
+            return;
+        };
+        if remaining > Duration::from_millis(1) {
+            std::thread::sleep(remaining - Duration::from_millis(1));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+struct WorkerResult {
+    offered: u64,
+    committed: u64,
+    aborted: u64,
+    shed: u64,
+    histogram: LatencyHistogram,
+}
+
+fn worker(
+    mut conn: Connection,
+    worker_index: usize,
+    options: &DriverOptions,
+    start: Instant,
+) -> Result<WorkerResult, WireError> {
+    let per_conn_tps = (options.offered_tps / options.connections as f64).max(1e-6);
+    let mut rng =
+        StdRng::seed_from_u64(options.seed ^ ((worker_index as u64 + 1) * 0x9E37_79B9_7F4A_7C15));
+    let sampler = options.spec.key_sampler();
+    let process = ProcessId(worker_index as u32 + 1);
+    let deadline = start + options.duration;
+
+    let mut result = WorkerResult {
+        offered: 0,
+        committed: 0,
+        aborted: 0,
+        shed: 0,
+        histogram: LatencyHistogram::new(),
+    };
+    // Scheduled arrival instants waiting to start (the bounded queue).
+    let mut pending: VecDeque<Instant> = VecDeque::new();
+    let (gap, mut due) = next_gap(options.arrivals, per_conn_tps, &mut rng);
+    let mut next_arrival = start + gap;
+    let mut txn_counter: u32 = 0;
+    let mut value_counter: u64 = 0;
+
+    loop {
+        // Admit every arrival whose scheduled instant has passed. The
+        // schedule advances regardless of server progress — that is what
+        // makes the loop open.
+        let now = Instant::now();
+        while next_arrival <= now && next_arrival < deadline {
+            for _ in 0..due {
+                result.offered += 1;
+                if pending.len() < options.queue_cap {
+                    pending.push_back(next_arrival);
+                } else {
+                    result.shed += 1;
+                }
+            }
+            let (gap, n) = next_gap(options.arrivals, per_conn_tps, &mut rng);
+            next_arrival += gap;
+            due = n;
+        }
+
+        if let Some(arrival) = pending.pop_front() {
+            let template = options.spec.generate_with(&sampler, &mut rng);
+            txn_counter = txn_counter.wrapping_add(1);
+            let outcome =
+                conn.run_template(txn_counter, process, &template, options.spec.batch, || {
+                    value_counter += 1;
+                    value_counter
+                })?;
+            // Latency from the *scheduled* arrival: service time plus however
+            // long the transaction sat in the queue.
+            let micros = u64::try_from(arrival.elapsed().as_micros()).unwrap_or(u64::MAX);
+            result.histogram.record(micros);
+            match outcome {
+                TxnOutcome::Committed(_) => result.committed += 1,
+                TxnOutcome::Aborted(_) => result.aborted += 1,
+            }
+        } else if next_arrival < deadline {
+            sleep_until(next_arrival);
+        } else {
+            // Past the deadline with an empty queue: the run is over.
+            return Ok(result);
+        }
+    }
+}
+
+/// Runs one open-loop measurement against a serve-path endpoint: one thread
+/// and one connection per `options.connections`, each generating its share of
+/// the offered load on its own seeded schedule, executing transactions over
+/// the pipelined path, and recording arrival-to-completion latencies.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] when a connection cannot be established or fails
+/// mid-run.
+pub fn run_open_loop<A: ToSocketAddrs>(
+    addr: A,
+    options: &DriverOptions,
+) -> Result<DriverMetrics, WireError> {
+    let connections = options.connections.max(1);
+    // Connect everything up front so the measurement starts with the fleet
+    // ready, then start the shared clock.
+    let mut conns = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        conns.push(Connection::connect(&addr)?);
+    }
+    let start = Instant::now();
+    let results: Mutex<Vec<Result<WorkerResult, WireError>>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for (worker_index, conn) in conns.into_iter().enumerate() {
+            let results = &results;
+            scope.spawn(move || {
+                let result = worker(conn, worker_index, options, start);
+                results.lock().unwrap().push(result);
+            });
+        }
+    });
+
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    let mut metrics = DriverMetrics {
+        offered: 0,
+        committed: 0,
+        aborted: 0,
+        shed: 0,
+        elapsed_secs,
+        histogram: LatencyHistogram::new(),
+    };
+    for result in results.into_inner().unwrap() {
+        let worker = result?;
+        metrics.offered += worker.offered;
+        metrics.committed += worker.committed;
+        metrics.aborted += worker.aborted;
+        metrics.shed += worker.shed;
+        metrics.histogram.merge(&worker.histogram);
+    }
+    Ok(metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_render() {
+        assert_eq!(ArrivalProcess::Poisson.label(), "poisson");
+        assert_eq!(ArrivalProcess::Bursty { burst: 16 }.label(), "bursty(16)");
+    }
+
+    #[test]
+    fn poisson_gaps_have_the_requested_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lambda = 1_000.0;
+        let n = 20_000;
+        let total: f64 = (0..n)
+            .map(|_| {
+                next_gap(ArrivalProcess::Poisson, lambda, &mut rng)
+                    .0
+                    .as_secs_f64()
+            })
+            .sum();
+        let mean = total / f64::from(n);
+        assert!(
+            (mean - 1.0 / lambda).abs() < 0.05 / lambda,
+            "mean interarrival {mean} should be ~{}",
+            1.0 / lambda
+        );
+    }
+
+    #[test]
+    fn bursty_gaps_preserve_the_offered_rate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (gap, due) = next_gap(ArrivalProcess::Bursty { burst: 8 }, 400.0, &mut rng);
+        assert_eq!(due, 8);
+        assert!((gap.as_secs_f64() - 0.02).abs() < 1e-9, "8 / 400 tps");
+    }
+
+    #[test]
+    fn metrics_arithmetic() {
+        let metrics = DriverMetrics {
+            offered: 100,
+            committed: 60,
+            aborted: 20,
+            shed: 20,
+            elapsed_secs: 2.0,
+            histogram: LatencyHistogram::new(),
+        };
+        assert!((metrics.achieved_tps() - 30.0).abs() < f64::EPSILON);
+        assert!((metrics.commit_rate() - 0.75).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,52 @@
+//! TCP serve-path for the MVTL engines.
+//!
+//! Everything measured so far in this workspace is in-process and
+//! closed-loop. This crate adds the missing production-shaped path:
+//!
+//! * [`wire`] — a small length-prefixed binary protocol (no crates.io
+//!   dependencies): an engine-spec handshake plus
+//!   begin/read/write/read_many/write_many/commit/abort/stats frames.
+//! * [`server`] — a threaded TCP server fronting any registry-built
+//!   `dyn Engine<u64>`. One handler thread per connection; the handler's
+//!   per-connection transaction table holds RAII guards, so a disconnect (or
+//!   any error path) aborts every transaction the connection left open and
+//!   releases its locks.
+//! * [`client`] — a framed [`Connection`] with a pipelined
+//!   whole-transaction fast path, and [`RemoteEngine`], which implements
+//!   [`Engine`](mvtl_common::Engine) so the verifier's replay and every other
+//!   `dyn Engine` consumer runs over TCP unchanged.
+//! * [`driver`] — an open-loop load generator: seeded Poisson or bursty
+//!   arrival schedules at a fixed offered rate, a bounded in-flight queue
+//!   (overflow is shed and counted, never back-pressured), latency measured
+//!   from the scheduled arrival instant so queueing delay is part of the
+//!   number.
+//! * [`hist`] — the HDR-style log-linear [`LatencyHistogram`] behind the
+//!   driver's p50/p99/p999 columns.
+//!
+//! ```no_run
+//! use mvtl_server::{DriverOptions, Server};
+//!
+//! let server = Server::spawn("mvtil-early", "127.0.0.1:0")?;
+//! let metrics = mvtl_server::run_open_loop(server.addr(), &DriverOptions::default())?;
+//! println!(
+//!     "committed {} at p99 {} µs",
+//!     metrics.committed,
+//!     metrics.histogram.p99()
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod driver;
+pub mod hist;
+pub mod server;
+pub mod wire;
+
+pub use client::{Connection, RemoteEngine, TxnOutcome};
+pub use driver::{run_open_loop, ArrivalProcess, DriverMetrics, DriverOptions};
+pub use hist::LatencyHistogram;
+pub use server::{Server, ServerConfig};
+pub use wire::WireError;

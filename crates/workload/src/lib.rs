@@ -42,6 +42,7 @@ pub mod spec;
 pub use figures::{FigureRow, FigureTable, Scale};
 pub use report::{
     bench_report, check_bench_report, BenchReport, BenchRow, ReportOptions, BENCH_SCHEMA_VERSION,
+    MODE_CLOSED, MODE_OPEN,
 };
 pub use runner::{execute_template, run_closed_loop, RunnerMetrics, RunnerOptions};
 pub use soak::{gc_soak, SoakOptions, SoakReport};

@@ -10,11 +10,11 @@
 //! exact inverses), which is what CI uploads as `BENCH_smoke.json` and what
 //! future changes diff their numbers against.
 //!
-//! The JSON schema (version 1):
+//! The JSON schema (version 2):
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "name": "smoke",
 //!   "seed": 42,
 //!   "wall_secs": 12.5,
@@ -22,14 +22,21 @@
 //!     {
 //!       "spec": "sharded?shards=8&inner=mvtil-early",
 //!       "engine": "sharded",
+//!       "mode": "open",
+//!       "arrivals": "poisson",
 //!       "dist": "zipf(0.99)",
 //!       "batch": 8,
 //!       "clients": 4,
+//!       "offered_tps": 12000.0,
 //!       "committed": 1234,
 //!       "aborted": 56,
+//!       "shed": 0,
 //!       "elapsed_secs": 0.08,
 //!       "throughput_tps": 15425.0,
 //!       "abort_rate": 0.043,
+//!       "p50_us": 180,
+//!       "p99_us": 950,
+//!       "p999_us": 2100,
 //!       "locks": 321,
 //!       "versions": 654,
 //!       "purged_versions": 0,
@@ -38,6 +45,13 @@
 //!   ]
 //! }
 //! ```
+//!
+//! Version 2 added the serve-path columns: `mode` distinguishes in-process
+//! closed-loop rows (`"closed"`) from open-loop rows measured over TCP by the
+//! `mvtl-server` driver (`"open"`); `arrivals`, `offered_tps` and `shed`
+//! describe the open-loop schedule, and `p50_us`/`p99_us`/`p999_us` carry the
+//! client-observed latency quantiles (zero on closed rows, which measure no
+//! per-transaction latency).
 
 use crate::runner::{run_closed_loop, RunnerOptions};
 use crate::spec::{KeyDist, WorkloadSpec};
@@ -49,32 +63,56 @@ use std::time::{Duration, Instant};
 /// Version of the `BENCH_*.json` schema written by [`BenchReport`]. Bump it
 /// when a field is renamed, removed or reinterpreted; adding fields is
 /// backward compatible.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
-/// One grid cell: a single closed-loop run of one engine spec under one key
-/// distribution and batch size.
+/// Measurement mode of a closed-loop row: in-process, throughput-oriented.
+pub const MODE_CLOSED: &str = "closed";
+/// Measurement mode of an open-loop row: over TCP at a fixed offered load,
+/// latency-oriented (produced by the `mvtl-server` driver via `serve_bench`).
+pub const MODE_OPEN: &str = "open";
+
+/// One grid cell: a single run of one engine spec under one key distribution
+/// and batch size — either an in-process closed-loop run ([`MODE_CLOSED`]) or
+/// an open-loop run over the TCP serve-path ([`MODE_OPEN`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRow {
     /// The full engine spec the run was built from.
     pub spec: String,
     /// The engine's base name (what `Engine::name` reports).
     pub engine: String,
+    /// Measurement mode: [`MODE_CLOSED`] or [`MODE_OPEN`].
+    pub mode: String,
+    /// Arrival-process label of an open-loop row ("poisson", "bursty(16)");
+    /// `"-"` on closed rows, which have no external arrival schedule.
+    pub arrivals: String,
     /// Key-distribution label ("uniform", "zipf(0.99)", ...).
     pub dist: String,
     /// Batch size the runner used (1 = op-by-op).
     pub batch: usize,
-    /// Number of client threads.
+    /// Number of client threads (closed) or connections (open).
     pub clients: usize,
+    /// Offered load of an open-loop row in transactions per second; 0 on
+    /// closed rows (a closed loop offers as much as the system absorbs).
+    pub offered_tps: f64,
     /// Committed transactions.
     pub committed: u64,
     /// Aborted transaction attempts.
     pub aborted: u64,
+    /// Open-loop arrivals shed because the bounded in-flight queue was full;
+    /// 0 on closed rows.
+    pub shed: u64,
     /// Measured wall-clock duration of the run in seconds.
     pub elapsed_secs: f64,
     /// Commits per second.
     pub throughput_tps: f64,
     /// Fraction of attempts that aborted.
     pub abort_rate: f64,
+    /// Median client-observed latency in microseconds (open rows; 0 closed).
+    pub p50_us: u64,
+    /// 99th-percentile client-observed latency in microseconds.
+    pub p99_us: u64,
+    /// 99.9th-percentile client-observed latency in microseconds.
+    pub p999_us: u64,
     /// Lock entries resident at the end of the run.
     pub locks: usize,
     /// Stored versions resident at the end of the run.
@@ -90,17 +128,24 @@ impl BenchRow {
         Value::Object(vec![
             ("spec".to_string(), Value::from(self.spec.clone())),
             ("engine".to_string(), Value::from(self.engine.clone())),
+            ("mode".to_string(), Value::from(self.mode.clone())),
+            ("arrivals".to_string(), Value::from(self.arrivals.clone())),
             ("dist".to_string(), Value::from(self.dist.clone())),
             ("batch".to_string(), Value::from(self.batch)),
             ("clients".to_string(), Value::from(self.clients)),
+            ("offered_tps".to_string(), Value::from(self.offered_tps)),
             ("committed".to_string(), Value::from(self.committed)),
             ("aborted".to_string(), Value::from(self.aborted)),
+            ("shed".to_string(), Value::from(self.shed)),
             ("elapsed_secs".to_string(), Value::from(self.elapsed_secs)),
             (
                 "throughput_tps".to_string(),
                 Value::from(self.throughput_tps),
             ),
             ("abort_rate".to_string(), Value::from(self.abort_rate)),
+            ("p50_us".to_string(), Value::from(self.p50_us)),
+            ("p99_us".to_string(), Value::from(self.p99_us)),
+            ("p999_us".to_string(), Value::from(self.p999_us)),
             ("locks".to_string(), Value::from(self.locks)),
             ("versions".to_string(), Value::from(self.versions)),
             (
@@ -115,14 +160,21 @@ impl BenchRow {
         Ok(BenchRow {
             spec: req_str(value, "spec")?,
             engine: req_str(value, "engine")?,
+            mode: req_str(value, "mode")?,
+            arrivals: req_str(value, "arrivals")?,
             dist: req_str(value, "dist")?,
             batch: req_u64(value, "batch")? as usize,
             clients: req_u64(value, "clients")? as usize,
+            offered_tps: req_f64(value, "offered_tps")?,
             committed: req_u64(value, "committed")?,
             aborted: req_u64(value, "aborted")?,
+            shed: req_u64(value, "shed")?,
             elapsed_secs: req_f64(value, "elapsed_secs")?,
             throughput_tps: req_f64(value, "throughput_tps")?,
             abort_rate: req_f64(value, "abort_rate")?,
+            p50_us: req_u64(value, "p50_us")?,
+            p99_us: req_u64(value, "p99_us")?,
+            p999_us: req_u64(value, "p999_us")?,
             locks: req_u64(value, "locks")? as usize,
             versions: req_u64(value, "versions")? as usize,
             purged_versions: req_u64(value, "purged_versions")? as usize,
@@ -236,28 +288,47 @@ impl BenchReport {
         self.rows.iter().filter(|r| r.spec == spec).collect()
     }
 
+    /// The rows of one engine spec in the given measurement mode
+    /// ([`MODE_CLOSED`] or [`MODE_OPEN`]).
+    #[must_use]
+    pub fn rows_for_mode(&self, spec: &str, mode: &str) -> Vec<&BenchRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.spec == spec && r.mode == mode)
+            .collect()
+    }
+
     /// Renders a compact aligned summary table (one line per row).
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = format!(
-            "# bench-report {} (seed {}, {:.1} s wall)\n{:<44} {:<12} {:>5} {:>14} {:>10}\n",
+            "# bench-report {} (seed {}, {:.1} s wall)\n\
+             {:<44} {:<6} {:<12} {:>5} {:>12} {:>14} {:>8} {:>9} {:>9}\n",
             self.name,
             self.seed,
             self.wall_secs,
             "spec",
+            "mode",
             "dist",
             "batch",
+            "offered_tps",
             "throughput_tps",
-            "abort%"
+            "abort%",
+            "p99_us",
+            "p999_us",
         );
         for row in &self.rows {
             out.push_str(&format!(
-                "{:<44} {:<12} {:>5} {:>14.1} {:>10.2}\n",
+                "{:<44} {:<6} {:<12} {:>5} {:>12.0} {:>14.1} {:>8.2} {:>9} {:>9}\n",
                 row.spec,
+                row.mode,
                 row.dist,
                 row.batch,
+                row.offered_tps,
                 row.throughput_tps,
                 row.abort_rate * 100.0,
+                row.p99_us,
+                row.p999_us,
             ));
         }
         out
@@ -350,11 +421,15 @@ pub fn bench_report(name: &str, options: &ReportOptions) -> BenchReport {
                 rows.push(BenchRow {
                     spec: spec.to_string(),
                     engine: EngineSpec::base_name(spec).to_string(),
+                    mode: MODE_CLOSED.to_string(),
+                    arrivals: "-".to_string(),
                     dist: dist.label(),
                     batch,
                     clients: options.clients,
+                    offered_tps: 0.0,
                     committed: metrics.committed,
                     aborted: metrics.aborted,
+                    shed: 0,
                     elapsed_secs: metrics.elapsed_secs,
                     throughput_tps: metrics.throughput_tps(),
                     abort_rate: if attempts == 0 {
@@ -362,6 +437,9 @@ pub fn bench_report(name: &str, options: &ReportOptions) -> BenchReport {
                     } else {
                         metrics.aborted as f64 / attempts as f64
                     },
+                    p50_us: 0,
+                    p99_us: 0,
+                    p999_us: 0,
                     locks: metrics.stats_end.lock_entries,
                     versions: metrics.stats_end.versions,
                     purged_versions: metrics.stats_end.purged_versions,
@@ -381,7 +459,9 @@ pub fn bench_report(name: &str, options: &ReportOptions) -> BenchReport {
 
 /// Checks a grid report for the invariants the CI smoke step relies on:
 /// every registered engine appears for every requested (dist, batch) cell
-/// and every row committed transactions.
+/// and every row committed transactions. Only [`MODE_CLOSED`] rows are
+/// counted, so a report that `serve_bench` has merged open-loop rows into
+/// still validates against the closed-loop grid it started from.
 ///
 /// # Panics
 ///
@@ -389,11 +469,11 @@ pub fn bench_report(name: &str, options: &ReportOptions) -> BenchReport {
 pub fn check_bench_report(report: &BenchReport, options: &ReportOptions) {
     let cells = options.dists.len() * options.normalized_batches().len();
     for spec in mvtl_registry::all_specs() {
-        let rows = report.rows_for(spec);
+        let rows = report.rows_for_mode(spec, MODE_CLOSED);
         assert_eq!(
             rows.len(),
             cells,
-            "engine {spec:?}: expected one row per (dist, batch) cell"
+            "engine {spec:?}: expected one closed-loop row per (dist, batch) cell"
         );
         for row in rows {
             assert!(
@@ -430,14 +510,21 @@ mod tests {
             rows: vec![BenchRow {
                 spec: "sharded?shards=8&inner=mvtil-early".to_string(),
                 engine: "sharded".to_string(),
+                mode: MODE_OPEN.to_string(),
+                arrivals: "bursty(16)".to_string(),
                 dist: "zipf(0.99)".to_string(),
                 batch: 8,
                 clients: 4,
+                offered_tps: 12_000.5,
                 committed: 12_345,
                 aborted: 67,
+                shed: 3,
                 elapsed_secs: 0.081_234_567_89,
                 throughput_tps: 152_407.407_407,
                 abort_rate: 0.005_396,
+                p50_us: 180,
+                p99_us: 950,
+                p999_us: 2_100,
                 locks: 321,
                 versions: 654,
                 purged_versions: 9,
@@ -460,8 +547,14 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
+        // Version-1 documents (pre serve-path) are explicitly unsupported.
         let err = BenchReport::from_json_str(
-            r#"{"schema_version": 1, "name": "x", "seed": 1, "wall_secs": 0, "rows": [{}]}"#,
+            r#"{"schema_version": 1, "name": "x", "seed": 1, "wall_secs": 0, "rows": []}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+        let err = BenchReport::from_json_str(
+            r#"{"schema_version": 2, "name": "x", "seed": 1, "wall_secs": 0, "rows": [{}]}"#,
         )
         .unwrap_err();
         assert!(err.contains("spec"), "{err}");

@@ -16,6 +16,7 @@
 //! | [`gc`] | `mvtl-gc` | watermark-safe background garbage collection (§6's timestamp service for the real engines) |
 //! | [`baselines`] | `mvtl-baselines` | MVTO+ and strict 2PL |
 //! | [`registry`] | `mvtl-registry` | string-spec engine factory (`"mvtil-early?delta=1000"` → `Box<dyn Engine>`) |
+//! | [`server`] | `mvtl-server` | TCP serve path: wire protocol, threaded server, client, open-loop load driver |
 //! | [`shard`] | `mvtl-shard` | partitioned engine: hash-routed shards, §7 cross-shard interval-intersection commit |
 //! | [`verify`] | `mvtl-verify` | MVSG serializability checking, canonical schedules |
 //! | [`sim`] | `mvtl-sim` | discrete-event simulation of the distributed system (§7, §8) |
@@ -59,6 +60,7 @@ pub use mvtl_faults as faults;
 pub use mvtl_gc as gc;
 pub use mvtl_locks as locks;
 pub use mvtl_registry as registry;
+pub use mvtl_server as server;
 pub use mvtl_shard as shard;
 pub use mvtl_sim as sim;
 pub use mvtl_storage as storage;
