@@ -357,6 +357,22 @@ where
     fn low_watermark(&self) -> Option<Timestamp> {
         MvtoStore::low_watermark(self)
     }
+
+    fn recover_install(
+        &self,
+        writes: Vec<(Key, V)>,
+        commit_ts: Option<Timestamp>,
+    ) -> Result<(), TxError> {
+        // MVTO+ serializes by timestamp, so recovery re-installs each version
+        // at the timestamp the pre-crash commit chose.
+        let ts = commit_ts.ok_or_else(|| {
+            TxError::Internal("mvto+ recovery requires the original commit timestamp".into())
+        })?;
+        for (key, value) in writes {
+            self.cell(key).lock().install(ts, value);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -332,6 +332,29 @@ where
     fn name(&self) -> &'static str {
         "2pl"
     }
+
+    fn recover_install(
+        &self,
+        writes: Vec<(Key, V)>,
+        commit_ts: Option<Timestamp>,
+    ) -> Result<(), TxError> {
+        // The single committed version per key is tagged with the commit
+        // sequence number, and the log carries it, so recovery keeps the
+        // newest committed value per key even if records were logged out of
+        // commit order. Logs written by engines without a timestamp replay in
+        // log order under a fresh sequence number.
+        let ts = commit_ts
+            .unwrap_or_else(|| Timestamp::new(self.commit_seq.fetch_add(1, Ordering::SeqCst), 0));
+        for (key, value) in writes {
+            let cell = self.cell(key);
+            let mut state = cell.state.lock();
+            if state.value.as_ref().is_none_or(|(have, _)| *have < ts) {
+                state.value = Some((ts, value));
+            }
+        }
+        self.commit_seq.fetch_max(ts.value + 1, Ordering::SeqCst);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

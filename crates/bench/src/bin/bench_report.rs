@@ -59,7 +59,8 @@ fn main() {
         ..ReportOptions::default()
     };
 
-    let report = bench_report(name, &options);
+    let mut report = bench_report(name, &options);
+    report.dedupe_rows();
     print!("{}", report.render());
     check_bench_report(&report, &options);
 
@@ -109,6 +110,24 @@ fn main() {
         wrapped >= 0.5 * plain,
         "a never-firing fault schedule halved sharded throughput \
          ({wrapped:.0} < 0.5 * {plain:.0} tps)"
+    );
+
+    // Durability overhead gate: the write-ahead log under group commit must
+    // keep at least 0.3× the memory-only throughput of the same engine on
+    // the micro workload. Group commit amortizes the fsync over every
+    // transaction in a flush batch, so the logged path should be bounded by
+    // batching latency, not by one disk sync per commit.
+    let memory_only = micro_tps("mvtil-early", 1, seed);
+    let logged = micro_tps("mvtil-early?wal=tmp&fsync=group", 1, seed);
+    println!(
+        "# wal-overhead mvtil-early: memory-only {memory_only:.0} tps, \
+         wal+group-commit {logged:.0} tps ({:.2}x)",
+        logged / memory_only.max(1.0)
+    );
+    assert!(
+        logged >= 0.3 * memory_only,
+        "group-commit logging dropped mvtil-early below the 0.3x floor \
+         ({logged:.0} < 0.3 * {memory_only:.0} tps)"
     );
 
     // The sharded engine's batched grid rows must keep committing — the

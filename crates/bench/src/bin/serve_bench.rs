@@ -236,6 +236,9 @@ fn main() {
     };
     report.wall_secs += started.elapsed().as_secs_f64();
     report.rows.extend(open_rows);
+    // Repeated local runs merge into the same artifact: replace, don't
+    // accumulate, rows for cells this sweep re-measured.
+    report.dedupe_rows();
     let rendered = report.to_json_string();
     std::fs::write(&path, &rendered).unwrap_or_else(|e| panic!("writing {path}: {e}"));
     let parsed = BenchReport::from_json_str(&rendered)

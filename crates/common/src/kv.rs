@@ -247,6 +247,37 @@ pub trait TransactionalKV<V>: Send + Sync {
     fn low_watermark(&self) -> Option<Timestamp> {
         None
     }
+
+    // --- Recovery surface (durability, `mvtl-wal`) --------------------------
+
+    /// Re-installs one recovered committed transaction's write set, exactly
+    /// as it was originally committed.
+    ///
+    /// This is the replay half of crash recovery: the write-ahead log stores
+    /// `(writes, commit_ts)` per committed transaction, and replaying must
+    /// install the versions *at their original timestamps* — not through a
+    /// fresh transaction whose policy would pick new ones — so that
+    /// post-crash reads reference the same `(key, commit_ts)` versions the
+    /// pre-crash history committed and the combined history stays checkable
+    /// by the multiversion serialization graph. Engines that serialize by
+    /// timestamp receive `Some(commit_ts)`; single-version engines receive
+    /// `None` and apply the writes in replay (log) order.
+    ///
+    /// # Errors
+    ///
+    /// The default returns [`TxError::Internal`]: the engine does not support
+    /// recovery, and the registry refuses to build `wal=` specs over it.
+    fn recover_install(
+        &self,
+        writes: Vec<(Key, V)>,
+        commit_ts: Option<Timestamp>,
+    ) -> Result<(), TxError> {
+        let _ = (writes, commit_ts);
+        Err(TxError::Internal(format!(
+            "engine '{}' does not support WAL recovery",
+            self.name()
+        )))
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,7 @@ mod error;
 mod ids;
 pub mod kv;
 pub mod ops;
+mod tempdir;
 mod timestamp;
 mod tsset;
 pub mod watermark;
@@ -59,6 +60,7 @@ pub use engine::{Engine, EngineExt, RetryOptions, RunReport, Transaction, TxHand
 pub use error::{AbortReason, TxError};
 pub use ids::{Key, ProcessId, TxId};
 pub use kv::{CommitInfo, StoreStats, TransactionalKV, TxOutcome};
+pub use tempdir::TempDir;
 pub use timestamp::{Timestamp, TsRange};
 pub use tsset::TsSet;
 pub use watermark::{ActiveTxnRegistry, TxnPin};

@@ -1,0 +1,101 @@
+//! A std-only RAII temporary directory for tests.
+//!
+//! The offline build has no `tempfile` crate, and the durability tests need
+//! throwaway directories for write-ahead logs. [`TempDir`] creates a uniquely
+//! named directory under [`std::env::temp_dir`] and removes it (recursively)
+//! on drop, so a panicking test still cleans up after itself.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide counter decorrelating directories created in the same
+/// nanosecond by concurrent tests.
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// An owned temporary directory, deleted recursively on drop.
+///
+/// # Example
+///
+/// ```
+/// use mvtl_common::TempDir;
+///
+/// let dir = TempDir::new("doc-test");
+/// std::fs::write(dir.path().join("probe"), b"hello").unwrap();
+/// let kept = dir.path().to_path_buf();
+/// drop(dir);
+/// assert!(!kept.exists());
+/// ```
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh directory `<system tmp>/mvtl-<prefix>-<pid>-<n>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created — tests have no sensible
+    /// way to continue without one.
+    #[must_use]
+    pub fn new(prefix: &str) -> TempDir {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("mvtl-{prefix}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&path)
+            .unwrap_or_else(|e| panic!("creating temp dir {}: {e}", path.display()));
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consumes the guard without deleting the directory (for debugging a
+    /// failing test's on-disk state).
+    #[must_use]
+    pub fn into_path(mut self) -> PathBuf {
+        std::mem::take(&mut self.path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if !self.path.as_os_str().is_empty() {
+            // Best effort: a failed cleanup must not turn into a panic while
+            // another panic is unwinding.
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes_on_drop() {
+        let dir = TempDir::new("unit");
+        let path = dir.path().to_path_buf();
+        assert!(path.is_dir());
+        std::fs::write(path.join("nested"), b"x").unwrap();
+        drop(dir);
+        assert!(!path.exists(), "drop must remove the tree");
+    }
+
+    #[test]
+    fn distinct_directories_per_call() {
+        let a = TempDir::new("unit");
+        let b = TempDir::new("unit");
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn into_path_keeps_the_directory() {
+        let dir = TempDir::new("unit");
+        let kept = dir.into_path();
+        assert!(kept.is_dir());
+        std::fs::remove_dir_all(kept).unwrap();
+    }
+}

@@ -16,6 +16,11 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// Process id that recovered transactions run under. It only matters as a
+/// lock owner tie-breaker; real processes are numbered from zero and never
+/// reach it.
+const RECOVERY_PROCESS: ProcessId = ProcessId(u32::MAX);
+
 /// A transaction that passed the participant half of the §7 distributed
 /// commit on one [`MvtlStore`]: commit-time locks are acquired and the
 /// interval the policy is willing to commit at is frozen.
@@ -391,6 +396,69 @@ where
     pub fn abort_prepared(&self, prepared: PreparedCommit<V>) {
         let mut txn = prepared.txn;
         self.abort_internal(&mut txn.state);
+    }
+
+    /// Rebuilds the prepared state of a sub-transaction from its logged write
+    /// set and frozen interval (`mvtl-wal` crash recovery).
+    ///
+    /// A participant that logged a prepare record and then crashed promised
+    /// the coordinator it could commit anywhere in `interval`. Recovery
+    /// re-creates that promise: it write-locks every logged key over the
+    /// interval (without waiting — the store has just been rebuilt, so the
+    /// only contention is between recovered transactions themselves) and
+    /// returns a [`PreparedCommit`] whose interval is the part of `interval`
+    /// that could be re-frozen. The caller then resolves it exactly like a
+    /// live prepared transaction: [`MvtlStore::commit_prepared`] when the
+    /// coordinator's decision was logged, [`MvtlStore::abort_prepared`] under
+    /// presumed abort when it was not.
+    ///
+    /// No locking policy runs here: the policy already made its decision
+    /// before the crash, and the log is its record.
+    ///
+    /// # Errors
+    ///
+    /// Returns an abort error when none of `interval` can be re-frozen (for
+    /// example because a recovered committed transaction already installed a
+    /// version there); the partial lock state is fully released.
+    pub fn recover_prepared(
+        &self,
+        writes: Vec<(Key, V)>,
+        interval: &TsSet,
+    ) -> Result<PreparedCommit<V>, TxError> {
+        let Some(pin_ts) = interval.min() else {
+            return Err(TxError::aborted(AbortReason::NoCommonTimestamp));
+        };
+        let mut state = TxState::new(RECOVERY_PROCESS, None);
+        state.gc_pin = Some(self.active.register(pin_ts));
+        let mut txn = MvtlTransaction::new(state);
+        let mut keys: Vec<Key> = writes.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut frozen = interval.clone();
+        for key in keys {
+            let mut granted = TsSet::new();
+            for range in interval.ranges() {
+                match self.acquire_write_range(&mut txn.state, key, *range, false) {
+                    Ok(got) => granted = granted.union(&got),
+                    Err(err) => {
+                        self.abort_internal(&mut txn.state);
+                        return Err(err);
+                    }
+                }
+            }
+            frozen = frozen.intersection(&granted);
+            if frozen.is_empty() {
+                self.abort_internal(&mut txn.state);
+                return Err(TxError::aborted(AbortReason::NoCommonTimestamp));
+            }
+        }
+        for (key, value) in writes {
+            txn.buffer_write(key, value);
+        }
+        Ok(PreparedCommit {
+            txn,
+            interval: frozen,
+        })
     }
 
     /// The commit tail shared by [`MvtlStore::commit`] and
@@ -843,6 +911,18 @@ where
 
     fn low_watermark(&self) -> Option<Timestamp> {
         MvtlStore::low_watermark(self)
+    }
+
+    fn recover_install(
+        &self,
+        writes: Vec<(Key, V)>,
+        commit_ts: Option<Timestamp>,
+    ) -> Result<(), TxError> {
+        let ts = commit_ts.ok_or_else(|| {
+            TxError::Internal("mvtl recovery requires the original commit timestamp".into())
+        })?;
+        let prepared = self.recover_prepared(writes, &TsSet::from_point(ts))?;
+        self.commit_prepared(prepared, ts).map(|_| ())
     }
 }
 

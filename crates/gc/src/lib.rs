@@ -434,6 +434,14 @@ where
     fn low_watermark(&self) -> Option<Timestamp> {
         self.inner.low_watermark()
     }
+
+    fn recover_install(
+        &self,
+        writes: Vec<(Key, V)>,
+        commit_ts: Option<Timestamp>,
+    ) -> Result<(), TxError> {
+        self.inner.recover_install(writes, commit_ts)
+    }
 }
 
 impl<V, S: TransactionalKV<V>> std::fmt::Debug for GcEngine<V, S> {

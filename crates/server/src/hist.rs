@@ -269,6 +269,67 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_is_every_quantile() {
+        for value in [0u64, 1, 31, 32, 1_000_003, u64::MAX] {
+            let mut hist = LatencyHistogram::new();
+            hist.record(value);
+            assert_eq!(hist.count(), 1);
+            assert_eq!(hist.min(), value);
+            assert_eq!(hist.max(), value);
+            assert_eq!(hist.mean(), value as f64);
+            // Every quantile of a one-sample distribution is that sample —
+            // and the max() clamp keeps wide buckets from overstating it.
+            for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+                assert_eq!(hist.value_at_quantile(q), value, "value {value} q {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_octave_saturates_without_overflow_or_wraparound() {
+        let mut hist = LatencyHistogram::new();
+        // The highest octave: bucket_upper would overflow without its
+        // saturating_add; every index must stay inside the fixed table.
+        for value in [u64::MAX, u64::MAX - 1, u64::MAX / 2 + 1, 1u64 << 63] {
+            assert!(bucket_index(value) < BUCKETS, "value {value} out of table");
+            hist.record(value);
+        }
+        assert_eq!(hist.count(), 4);
+        assert_eq!(hist.max(), u64::MAX);
+        assert_eq!(hist.value_at_quantile(1.0), u64::MAX);
+        assert!(
+            hist.p50() >= 1u64 << 63,
+            "median collapsed below the octave"
+        );
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        // A shape with a long tail: heavy head, sparse spread-out rest.
+        let mut hist = LatencyHistogram::new();
+        let mut state = 0x9E37_79B9u64;
+        for i in 0..10_000u64 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            let value = if i % 10 == 0 {
+                state % 1_000_000
+            } else {
+                state % 200
+            };
+            hist.record(value);
+        }
+        let mut last = 0u64;
+        for q in (0..=1_000).map(|i| i as f64 / 1_000.0) {
+            let v = hist.value_at_quantile(q);
+            assert!(v >= last, "quantiles regressed at q={q}: {v} < {last}");
+            last = v;
+        }
+        assert!(hist.p50() <= hist.p99() && hist.p99() <= hist.p999());
+        assert!(hist.p999() <= hist.max());
+    }
+
+    #[test]
     fn p999_never_exceeds_the_exact_max() {
         let mut hist = LatencyHistogram::new();
         for _ in 0..1_000 {

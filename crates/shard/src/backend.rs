@@ -39,6 +39,43 @@ pub trait ShardBackend<V>: Send + Sync {
     fn low_watermark(&self) -> Option<Timestamp> {
         None
     }
+
+    // --- Recovery surface (durability, `mvtl-wal`) --------------------------
+
+    /// Re-installs one recovered committed transaction's write set at its
+    /// original commit timestamp (crash recovery; see
+    /// [`TransactionalKV::recover_install`](mvtl_common::TransactionalKV::recover_install)).
+    ///
+    /// # Errors
+    ///
+    /// The default returns [`TxError::Internal`]: the backend does not
+    /// support recovery.
+    fn recover_commit(&self, writes: Vec<(Key, V)>, commit_ts: Timestamp) -> Result<(), TxError> {
+        let _ = (writes, commit_ts);
+        Err(TxError::Internal(
+            "shard backend does not support WAL recovery".into(),
+        ))
+    }
+
+    /// Rebuilds the prepared state of a sub-transaction whose prepare record
+    /// survived a crash but whose coordinator decision did not, so the
+    /// presumed-abort rule can give it exactly one decision.
+    ///
+    /// # Errors
+    ///
+    /// Returns an abort error when the logged interval can no longer be
+    /// frozen; the default returns [`TxError::Internal`] (no recovery
+    /// support).
+    fn recover_prepared(
+        &self,
+        writes: Vec<(Key, V)>,
+        interval: &TsSet,
+    ) -> Result<Box<dyn PreparedShardTxn<V>>, TxError> {
+        let _ = (writes, interval);
+        Err(TxError::Internal(
+            "shard backend does not support WAL recovery".into(),
+        ))
+    }
 }
 
 /// An open transaction on one shard.
@@ -190,6 +227,23 @@ where
 
     fn low_watermark(&self) -> Option<Timestamp> {
         self.store.low_watermark()
+    }
+
+    fn recover_commit(&self, writes: Vec<(Key, V)>, commit_ts: Timestamp) -> Result<(), TxError> {
+        use mvtl_common::TransactionalKV as _;
+        self.store.recover_install(writes, Some(commit_ts))
+    }
+
+    fn recover_prepared(
+        &self,
+        writes: Vec<(Key, V)>,
+        interval: &TsSet,
+    ) -> Result<Box<dyn PreparedShardTxn<V>>, TxError> {
+        let prepared = self.store.recover_prepared(writes, interval)?;
+        Ok(Box::new(MvtlPreparedShardTxn {
+            store: Arc::clone(&self.store),
+            prepared: Some(prepared),
+        }))
     }
 }
 

@@ -122,6 +122,20 @@ where
     fn low_watermark(&self) -> Option<Timestamp> {
         self.inner.low_watermark()
     }
+
+    fn recover_commit(&self, writes: Vec<(Key, V)>, commit_ts: Timestamp) -> Result<(), TxError> {
+        // Recovery runs before the workload restarts; faults apply to live
+        // traffic only.
+        self.inner.recover_commit(writes, commit_ts)
+    }
+
+    fn recover_prepared(
+        &self,
+        writes: Vec<(Key, V)>,
+        interval: &TsSet,
+    ) -> Result<Box<dyn PreparedShardTxn<V>>, TxError> {
+        self.inner.recover_prepared(writes, interval)
+    }
 }
 
 /// [`ShardTxn`] decorator: delays operations and perturbs `prepare` per the

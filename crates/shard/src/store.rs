@@ -672,4 +672,29 @@ where
     fn low_watermark(&self) -> Option<Timestamp> {
         ShardedStore::low_watermark(self)
     }
+
+    fn recover_install(
+        &self,
+        writes: Vec<(Key, V)>,
+        commit_ts: Option<Timestamp>,
+    ) -> Result<(), TxError> {
+        // Route each write to its shard and replay there. Sharded specs
+        // normally log per shard (each backend wears its own `WalBackend`),
+        // but a log written by a non-sharded engine replays fine through the
+        // same hash routing.
+        let ts = commit_ts.ok_or_else(|| {
+            TxError::Internal("sharded recovery requires the original commit timestamp".into())
+        })?;
+        let mut per_shard: Vec<Vec<(Key, V)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (key, value) in writes {
+            per_shard[self.shard_of(key)].push((key, value));
+        }
+        for (shard, shard_writes) in per_shard.into_iter().enumerate() {
+            if !shard_writes.is_empty() {
+                self.shards[shard].recover_commit(shard_writes, ts)?;
+            }
+        }
+        Ok(())
+    }
 }

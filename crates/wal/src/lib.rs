@@ -1,0 +1,61 @@
+//! # mvtl-wal
+//!
+//! The durability subsystem: an append-only, length-prefixed, checksummed
+//! write-ahead log with group commit, plus the wrappers that bolt it onto
+//! the workspace's engines.
+//!
+//! * [`record`] — log records ([`WalRecord`]: commit / prepare / decision)
+//!   and their framed on-disk encoding (`[len][crc32][payload]`, the same
+//!   idiom as the server wire protocol).
+//! * [`log`] — the segmented log itself: [`Wal`] appends with an fsync
+//!   policy ([`FsyncMode`]: `always` / `group` / `off`), a flusher thread
+//!   batches concurrent appends into one fsync (group commit), and
+//!   [`Wal::open`] scans existing segments on startup, stopping at the
+//!   first torn or corrupted frame and truncating the tail.
+//! * [`engine`] — [`WalEngine`], a [`mvtl_common::TransactionalKV`] wrapper
+//!   logging every commit's write set after the inner engine commits and
+//!   acknowledging only once the record is durable; on open it replays the
+//!   log into the inner engine via
+//!   [`mvtl_common::TransactionalKV::recover_install`].
+//! * [`backend`] — [`WalBackend`], the same decoration for one shard of the
+//!   cross-shard protocol: prepares and coordinator decisions are logged
+//!   durably *before* they are acknowledged, so presumed-abort recovery
+//!   gives every prepared sub-transaction exactly one decision across a
+//!   crash.
+//!
+//! # Example
+//!
+//! ```
+//! use mvtl_common::{Key, Timestamp, TempDir};
+//! use mvtl_wal::{FsyncMode, Wal, WalOptions, WalRecord};
+//!
+//! let dir = TempDir::new("wal-doc");
+//! let (wal, recovered) = Wal::open::<u64>(dir.path(), WalOptions::default()).unwrap();
+//! assert!(recovered.records.is_empty());
+//! wal.append(&WalRecord::Commit {
+//!     id: wal.fresh_id(),
+//!     commit_ts: Some(Timestamp::new(7, 0)),
+//!     writes: vec![(Key(1), 42u64)],
+//! })
+//! .unwrap(); // durable on return: the default policy is group commit
+//! drop(wal);
+//!
+//! let (_wal, recovered) = Wal::open::<u64>(dir.path(), WalOptions::default()).unwrap();
+//! assert_eq!(recovered.records.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod engine;
+pub mod log;
+pub mod record;
+
+pub use backend::WalBackend;
+pub use engine::{RecoveryReport, WalEngine, WalTxn};
+pub use log::{
+    FsyncMode, RecoveredCommit, RecoveredPrepare, Recovery, ResolvedRecovery, Wal, WalError,
+    WalOptions,
+};
+pub use record::{crc32, WalRecord, WalValue};

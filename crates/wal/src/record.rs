@@ -1,0 +1,459 @@
+//! Log records and their on-disk framing.
+//!
+//! Every record is written as one self-delimiting *frame*, reusing the
+//! length-prefixed idiom of the server's wire protocol
+//! (`crates/server/src/wire.rs`):
+//!
+//! ```text
+//! [payload_len: u32 LE] [crc32(payload): u32 LE] [payload]
+//! ```
+//!
+//! The payload starts with a one-byte record kind and the record's log-local
+//! transaction id, followed by kind-specific fields (all integers
+//! little-endian). The checksum lets recovery distinguish a cleanly written
+//! frame from a torn tail: scanning stops at the first frame whose length or
+//! checksum does not add up, and everything after that point is reported as
+//! discarded rather than replayed.
+
+use mvtl_common::{Key, Timestamp, TsRange, TsSet};
+
+/// Magic bytes opening every segment file, followed by the format version.
+pub(crate) const SEGMENT_HEADER: [u8; 8] = *b"MVWL\x01\x00\x00\x00";
+
+/// Upper bound on a single frame's payload, mirroring the wire protocol's
+/// frame cap: a corrupted length prefix must not trigger a huge allocation.
+pub(crate) const MAX_PAYLOAD: u32 = 64 << 20;
+
+const KIND_COMMIT: u8 = 1;
+const KIND_PREPARE: u8 = 2;
+const KIND_DECISION: u8 = 3;
+
+/// Values that can be logged. Implemented for the value types the registry
+/// builds engines over; the encoding is length-prefixed per write, so any
+/// byte-serializable type fits.
+pub trait WalValue: Sized {
+    /// Appends the serialized value to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Rebuilds a value from the exact bytes `encode` produced.
+    fn decode(bytes: &[u8]) -> Option<Self>;
+}
+
+impl WalValue for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        Some(u64::from_le_bytes(bytes.try_into().ok()?))
+    }
+}
+
+impl WalValue for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+/// One durable event. `id` is a log-local transaction id pairing a
+/// [`WalRecord::Prepare`] with its later [`WalRecord::Decision`]; it is not
+/// the engine's in-memory `TxId` (those do not survive a restart).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord<V> {
+    /// A single-shard (or coordinator-side) commit: the transaction's write
+    /// set, installed at `commit_ts` where the engine has one (single-version
+    /// engines log `None` and replay in log order).
+    Commit {
+        /// Log-local transaction id.
+        id: u64,
+        /// The commit timestamp, when the engine serializes by timestamp.
+        commit_ts: Option<Timestamp>,
+        /// The committed `(key, value)` write set.
+        writes: Vec<(Key, V)>,
+    },
+    /// A cross-shard participant's prepared sub-transaction: its frozen
+    /// candidate interval and buffered writes. A prepare without a matching
+    /// decision is resolved by presumed abort on recovery.
+    Prepare {
+        /// Log-local transaction id, referenced by the matching decision.
+        id: u64,
+        /// The frozen candidate interval the participant offered.
+        interval: TsSet,
+        /// The buffered `(key, value)` write set.
+        writes: Vec<(Key, V)>,
+    },
+    /// The coordinator's decision for a prepared sub-transaction.
+    Decision {
+        /// The log-local id of the prepare this decides.
+        id: u64,
+        /// `Some(ts)` commits the prepared writes at `ts`; `None` aborts.
+        outcome: Option<Timestamp>,
+    },
+}
+
+impl<V> WalRecord<V> {
+    /// The record's log-local transaction id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        match self {
+            WalRecord::Commit { id, .. }
+            | WalRecord::Prepare { id, .. }
+            | WalRecord::Decision { id, .. } => *id,
+        }
+    }
+}
+
+// --- CRC-32 (IEEE 802.3), table-driven, no external dependency -------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE) of `data`, the checksum guarding every frame.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// --- payload encoding ------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_ts(out: &mut Vec<u8>, ts: Timestamp) {
+    put_u64(out, ts.value);
+    put_u32(out, ts.process);
+}
+
+fn put_writes<V: WalValue>(out: &mut Vec<u8>, writes: &[(Key, V)]) {
+    put_u32(out, writes.len() as u32);
+    let mut scratch = Vec::new();
+    for (key, value) in writes {
+        put_u64(out, key.0);
+        scratch.clear();
+        value.encode(&mut scratch);
+        put_u32(out, scratch.len() as u32);
+        out.extend_from_slice(&scratch);
+    }
+}
+
+/// A strict little-endian cursor over a payload; every read can fail, so a
+/// truncated or bit-flipped payload surfaces as `None`, never a panic.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn ts(&mut self) -> Option<Timestamp> {
+        let value = self.u64()?;
+        let process = self.u32()?;
+        Some(Timestamp::new(value, process))
+    }
+
+    fn writes<V: WalValue>(&mut self) -> Option<Vec<(Key, V)>> {
+        let count = self.u32()? as usize;
+        let mut writes = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let key = Key(self.u64()?);
+            let len = self.u32()? as usize;
+            let value = V::decode(self.take(len)?)?;
+            writes.push((key, value));
+        }
+        Some(writes)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+impl<V: WalValue> WalRecord<V> {
+    /// Serializes the record payload (kind + id + fields, no frame header).
+    #[must_use]
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalRecord::Commit {
+                id,
+                commit_ts,
+                writes,
+            } => {
+                out.push(KIND_COMMIT);
+                put_u64(&mut out, *id);
+                match commit_ts {
+                    Some(ts) => {
+                        out.push(1);
+                        put_ts(&mut out, *ts);
+                    }
+                    None => out.push(0),
+                }
+                put_writes(&mut out, writes);
+            }
+            WalRecord::Prepare {
+                id,
+                interval,
+                writes,
+            } => {
+                out.push(KIND_PREPARE);
+                put_u64(&mut out, *id);
+                let ranges = interval.ranges();
+                put_u32(&mut out, ranges.len() as u32);
+                for range in ranges {
+                    put_ts(&mut out, range.start);
+                    put_ts(&mut out, range.end);
+                }
+                put_writes(&mut out, writes);
+            }
+            WalRecord::Decision { id, outcome } => {
+                out.push(KIND_DECISION);
+                put_u64(&mut out, *id);
+                match outcome {
+                    Some(ts) => {
+                        out.push(1);
+                        put_ts(&mut out, *ts);
+                    }
+                    None => out.push(0),
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a record from a payload, rejecting trailing garbage.
+    #[must_use]
+    pub fn decode_payload(payload: &[u8]) -> Option<WalRecord<V>> {
+        let mut cur = Cursor {
+            bytes: payload,
+            pos: 0,
+        };
+        let kind = cur.u8()?;
+        let id = cur.u64()?;
+        let record = match kind {
+            KIND_COMMIT => {
+                let commit_ts = match cur.u8()? {
+                    0 => None,
+                    1 => Some(cur.ts()?),
+                    _ => return None,
+                };
+                WalRecord::Commit {
+                    id,
+                    commit_ts,
+                    writes: cur.writes()?,
+                }
+            }
+            KIND_PREPARE => {
+                let range_count = cur.u32()? as usize;
+                let mut ranges = Vec::with_capacity(range_count.min(1024));
+                for _ in 0..range_count {
+                    let start = cur.ts()?;
+                    let end = cur.ts()?;
+                    if start > end {
+                        return None;
+                    }
+                    ranges.push(TsRange::new(start, end));
+                }
+                WalRecord::Prepare {
+                    id,
+                    interval: TsSet::from_ranges(ranges),
+                    writes: cur.writes()?,
+                }
+            }
+            KIND_DECISION => {
+                let outcome = match cur.u8()? {
+                    0 => None,
+                    1 => Some(cur.ts()?),
+                    _ => return None,
+                };
+                WalRecord::Decision { id, outcome }
+            }
+            _ => return None,
+        };
+        cur.done().then_some(record)
+    }
+
+    /// Serializes the record as a complete frame (length + checksum +
+    /// payload), ready for appending to a segment.
+    #[must_use]
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        put_u32(&mut frame, payload.len() as u32);
+        put_u32(&mut frame, crc32(&payload));
+        frame.extend_from_slice(&payload);
+        frame
+    }
+}
+
+/// Attempts to decode one frame at the start of `bytes`. Returns the record
+/// and the frame's total length, or `None` when the bytes do not hold a
+/// complete, checksum-valid frame (the torn-tail stop condition).
+#[must_use]
+pub fn decode_frame<V: WalValue>(bytes: &[u8]) -> Option<(WalRecord<V>, usize)> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+    if len > MAX_PAYLOAD {
+        return None;
+    }
+    let expected = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
+    let total = 8usize.checked_add(len as usize)?;
+    let payload = bytes.get(8..total)?;
+    if crc32(payload) != expected {
+        return None;
+    }
+    Some((WalRecord::decode_payload(payload)?, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    fn sample_records() -> Vec<WalRecord<u64>> {
+        vec![
+            WalRecord::Commit {
+                id: 1,
+                commit_ts: Some(Timestamp::new(42, 3)),
+                writes: vec![(Key(7), 700), (Key(8), 800)],
+            },
+            WalRecord::Commit {
+                id: 2,
+                commit_ts: None,
+                writes: vec![(Key(9), 900)],
+            },
+            WalRecord::Prepare {
+                id: 3,
+                interval: TsSet::from_ranges(vec![
+                    TsRange::new(Timestamp::new(10, 0), Timestamp::new(20, 0)),
+                    TsRange::new(Timestamp::new(30, 0), Timestamp::new(40, 0)),
+                ]),
+                writes: vec![(Key(1), 11)],
+            },
+            WalRecord::Decision {
+                id: 3,
+                outcome: Some(Timestamp::new(15, 0)),
+            },
+            WalRecord::Decision {
+                id: 4,
+                outcome: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn records_roundtrip_through_frames() {
+        for record in sample_records() {
+            let frame = record.encode_frame();
+            let (decoded, consumed) = decode_frame::<u64>(&frame).expect("frame decodes");
+            assert_eq!(consumed, frame.len());
+            assert_eq!(decoded, record);
+        }
+    }
+
+    #[test]
+    fn string_values_roundtrip() {
+        let record = WalRecord::Commit {
+            id: 9,
+            commit_ts: Some(Timestamp::new(5, 1)),
+            writes: vec![(Key(1), "héllo".to_string()), (Key(2), String::new())],
+        };
+        let frame = record.encode_frame();
+        let (decoded, _) = decode_frame::<String>(&frame).expect("frame decodes");
+        assert_eq!(decoded, record);
+    }
+
+    #[test]
+    fn truncated_frames_do_not_decode() {
+        let frame = sample_records()[0].encode_frame();
+        for cut in 0..frame.len() {
+            assert!(
+                decode_frame::<u64>(&frame[..cut]).is_none(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_bytes_do_not_decode() {
+        let frame = sample_records()[0].encode_frame();
+        for i in 8..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                decode_frame::<u64>(&bad).is_none(),
+                "payload bit flip at {i} must fail the checksum"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut frame = sample_records()[0].encode_frame();
+        frame[0..4].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(decode_frame::<u64>(&frame).is_none());
+    }
+
+    #[test]
+    fn trailing_garbage_in_payload_is_rejected() {
+        let mut payload = sample_records()[4].encode_payload();
+        payload.push(0);
+        assert!(WalRecord::<u64>::decode_payload(&payload).is_none());
+    }
+}

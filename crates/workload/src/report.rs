@@ -282,6 +282,37 @@ impl BenchReport {
         })
     }
 
+    /// Drops duplicate grid cells, keeping the **newest** (last) row for
+    /// each `(spec, engine, mode, arrivals, dist, batch, clients,
+    /// offered_tps)` cell and preserving row order otherwise. Both report
+    /// binaries call this before writing `BENCH_<name>.json`, so repeated
+    /// local runs that merge into an existing artifact replace their cells
+    /// instead of accumulating copies.
+    pub fn dedupe_rows(&mut self) {
+        let mut seen = std::collections::HashSet::new();
+        let mut kept: Vec<BenchRow> = self
+            .rows
+            .drain(..)
+            .rev()
+            .filter(|row| {
+                seen.insert((
+                    row.spec.clone(),
+                    row.engine.clone(),
+                    row.mode.clone(),
+                    row.arrivals.clone(),
+                    row.dist.clone(),
+                    row.batch,
+                    row.clients,
+                    // f64 is not Hash; offered loads are computed, not
+                    // accumulated, so bit-identity is the right equality.
+                    row.offered_tps.to_bits(),
+                ))
+            })
+            .collect();
+        kept.reverse();
+        self.rows = kept;
+    }
+
     /// The rows of one engine spec, in grid order.
     #[must_use]
     pub fn rows_for(&self, spec: &str) -> Vec<&BenchRow> {
@@ -558,6 +589,54 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("spec"), "{err}");
+    }
+
+    #[test]
+    fn dedupe_keeps_the_newest_row_per_cell_and_preserves_order() {
+        let mut template = BenchRow {
+            spec: "mvtil-early".to_string(),
+            engine: "mvtil-early".to_string(),
+            mode: MODE_CLOSED.to_string(),
+            arrivals: "-".to_string(),
+            dist: "uniform".to_string(),
+            batch: 1,
+            clients: 2,
+            offered_tps: 0.0,
+            committed: 1,
+            aborted: 0,
+            shed: 0,
+            elapsed_secs: 0.1,
+            throughput_tps: 10.0,
+            abort_rate: 0.0,
+            p50_us: 0,
+            p99_us: 0,
+            p999_us: 0,
+            locks: 0,
+            versions: 0,
+            purged_versions: 0,
+            keys: 0,
+        };
+        let stale = template.clone();
+        template.throughput_tps = 99.0; // the rerun of the same cell
+        let fresh = template.clone();
+        let mut other = template.clone();
+        other.batch = 8; // a different cell: must survive untouched
+        let mut open = template.clone();
+        open.mode = MODE_OPEN.to_string();
+        open.offered_tps = 1_000.0;
+
+        let mut report = BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            name: "unit".to_string(),
+            seed: 1,
+            wall_secs: 0.0,
+            rows: vec![stale, other.clone(), open.clone(), fresh.clone()],
+        };
+        report.dedupe_rows();
+        assert_eq!(report.rows, vec![other, open, fresh], "stale cell replaced");
+        let before = report.rows.clone();
+        report.dedupe_rows();
+        assert_eq!(report.rows, before, "dedupe is idempotent");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | [`server`] | `mvtl-server` | TCP serve path: wire protocol, threaded server, client, open-loop load driver |
 //! | [`shard`] | `mvtl-shard` | partitioned engine: hash-routed shards, §7 cross-shard interval-intersection commit |
 //! | [`verify`] | `mvtl-verify` | MVSG serializability checking, canonical schedules |
+//! | [`wal`] | `mvtl-wal` | durability: checksummed write-ahead log with group commit, crash recovery, persistent prepare state |
 //! | [`sim`] | `mvtl-sim` | discrete-event simulation of the distributed system (§7, §8) |
 //! | [`workload`] | `mvtl-workload` | workload generators, runners, the figure harness |
 //!
@@ -65,4 +66,5 @@ pub use mvtl_shard as shard;
 pub use mvtl_sim as sim;
 pub use mvtl_storage as storage;
 pub use mvtl_verify as verify;
+pub use mvtl_wal as wal;
 pub use mvtl_workload as workload;
