@@ -1,0 +1,6 @@
+// Fixture: allowlist mechanics. The sleep below is suppressed by this
+// fixture's lint-allow.txt; the stale entry in that file must be reported.
+
+pub fn suppressed_sleep() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

@@ -1,0 +1,17 @@
+// Fixture: rule `rank-table`. Declarations must agree with ARCHITECTURE.md's
+// rank table in both directions, and ranks must be integer literals.
+
+use parking_lot::Mutex;
+
+pub fn sites() {
+    let _ok = Mutex::named("fixture.ok", 10, 0u8); // matches the table
+    let _mismatch = Mutex::named("fixture.mismatch", 99, 0u8); // line 8: table says 20
+    let _missing = Mutex::named_group("fixture.not_in_table", 30, 0u8); // line 9: absent from table
+    // The table also lists `fixture.phantom`, which no declaration backs.
+}
+
+const RANK: u32 = 40;
+
+pub fn non_literal() {
+    let _bad = Mutex::named("fixture.computed", RANK, 0u8); // line 16: rank not a literal
+}

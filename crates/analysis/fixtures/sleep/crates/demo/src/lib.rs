@@ -1,0 +1,14 @@
+// Fixture: rule `sleep`. Ad-hoc thread::sleep outside tests/faults must be
+// flagged; sleeps inside #[cfg(test)] blocks are exempt.
+
+pub fn flagged_sleep() {
+    std::thread::sleep(std::time::Duration::from_millis(1)); // line 5: flagged
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sleep_in_tests_is_fine() {
+        std::thread::sleep(std::time::Duration::from_millis(1)); // must NOT be flagged
+    }
+}

@@ -1,0 +1,29 @@
+// Fixture: rule `std-sync`. Raw std locking outside shims/ must be flagged;
+// mentions in comments/strings and non-lock std::sync items must not.
+
+use std::sync::Mutex; // line 4: flagged
+use std::sync::atomic::AtomicU64; // not a lock: must NOT be flagged
+
+pub struct Holder {
+    flagged_rw: std::sync::RwLock<u64>, // line 8: flagged
+    ok_atomic: AtomicU64,
+}
+
+pub fn grouped() {
+    use std::sync::{Arc, Condvar}; // line 13: flagged (Condvar inside the group)
+    let _ = Arc::new(Condvar::new());
+}
+
+pub fn in_string() -> &'static str {
+    // Must NOT be flagged: the pattern below is inside a string literal,
+    // and this comment mentioning std::sync::Mutex must not count either.
+    "std::sync::Mutex"
+}
+
+#[cfg(test)]
+mod tests {
+    // The rule applies in tests too: tests must also go through the shim.
+    fn also_flagged() {
+        let _ = std::sync::Mutex::new(0u8); // line 27: flagged
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: rule `unwrap`. Panicking unwrap/expect in non-test code of the
+// server/wal/shard crates must be flagged; test-gated code is exempt.
+
+pub fn flagged_unwrap(v: Option<u8>) -> u8 {
+    v.unwrap() // line 5: flagged
+}
+
+pub fn flagged_expect(v: Result<u8, ()>) -> u8 {
+    v.expect("fixture") // line 9: flagged
+}
+
+pub fn not_flagged_in_string() -> &'static str {
+    // Mentioning .unwrap() in a comment or ".unwrap()" in a string is fine.
+    ".unwrap()"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1); // must NOT be flagged
+    }
+}

@@ -1,0 +1,58 @@
+//! `mvtl-lint`: workspace concurrency-hygiene linter.
+//!
+//! Usage: `mvtl-lint [--root <dir>]` (default root: current directory; CI
+//! runs it from the workspace root via
+//! `cargo run --release -p mvtl-analysis --bin mvtl-lint`).
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("error: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: mvtl-lint [--root <dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match mvtl_analysis::lint::run(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("mvtl-lint: error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for entry in &report.unused_allow {
+        eprintln!("mvtl-lint: warning: unused allowlist entry: {entry}");
+    }
+    if report.violations.is_empty() {
+        println!("mvtl-lint: clean");
+        return ExitCode::SUCCESS;
+    }
+    for v in &report.violations {
+        println!("{v}");
+    }
+    println!(
+        "mvtl-lint: {} violation(s); allowlist: crates/analysis/lint-allow.txt",
+        report.violations.len()
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,34 @@
+//! Concurrency correctness tooling for the MVTL workspace.
+//!
+//! Two halves:
+//!
+//! * [`lint`] — a std-only source linter (`mvtl-lint` binary) enforcing the
+//!   workspace's concurrency hygiene rules: all locking goes through the
+//!   instrumented `parking_lot` shim, no panicking `unwrap`/`expect` on the
+//!   serve/durability paths, no stray `thread::sleep`, and every named lock
+//!   site agrees with the canonical rank table in `ARCHITECTURE.md`.
+//! * `lock_order` (requires the `lock-order` feature) — re-export of the
+//!   shim's runtime lock-order tracker: the held→acquiring site graph, cycle
+//!   and rank-inversion checks, the waits-for deadlock watchdog, and DOT
+//!   output. Tests call `lock_order::assert_acyclic` after driving real
+//!   workloads; `write_dot` persists the observed graph as a CI artifact.
+
+pub mod lint;
+
+#[cfg(feature = "lock-order")]
+pub use parking_lot::lock_order;
+
+/// Writes the current lock-order graph as Graphviz DOT to `path`, creating
+/// parent directories as needed. Intended for CI: the uploaded artifact shows
+/// exactly which held→acquiring edges the test run exercised.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory creation or the file write.
+#[cfg(feature = "lock-order")]
+pub fn write_dot(path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, lock_order::dot())
+}

@@ -1,0 +1,765 @@
+//! `mvtl-lint`: a std-only source linter for the workspace's concurrency
+//! rules. No parser dependency: a length-preserving scrubber blanks
+//! comments, string contents and char literals, and the rules match against
+//! the scrubbed text (so doc examples and message strings never trip them)
+//! while site names/ranks are read back from the raw text at the same byte
+//! offsets.
+//!
+//! Rules (rule ids in parentheses):
+//!
+//! * (`std-sync`) No `std::sync` `Mutex`/`RwLock`/`Condvar` outside `shims/`
+//!   — all locking must route through the instrumented `parking_lot` shim so
+//!   the `lock-order` feature sees every acquisition.
+//! * (`unwrap`) No `.unwrap()` / `.expect(` in non-test code of
+//!   `crates/server`, `crates/wal`, `crates/shard` — the serve/durability
+//!   paths must fail through `Result`, not panics.
+//! * (`sleep`) No `thread::sleep` outside test code and fault-injection code
+//!   — ad-hoc sleeps hide races; waiting must go through condvars or the
+//!   fault layer. Legitimate pacing sleeps are allowlisted.
+//! * (`rank-table`) Every lock site declared with `::named(...)` /
+//!   `::named_group(...)` in `crates/*/src` must appear in the canonical
+//!   rank table in `ARCHITECTURE.md` (between the
+//!   `<!-- lock-rank-table:begin/end -->` markers) with the same rank, and
+//!   vice versa. Site ranks must be integer literals so the linter (and a
+//!   reader) can resolve them without running the compiler.
+//!
+//! An allowlist file at `crates/analysis/lint-allow.txt` (lines of
+//! `<rule> <path-substring> [note...]`) suppresses individual findings;
+//! unused entries are reported so the list can only shrink.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule id, e.g. `"std-sync"`.
+    pub rule: &'static str,
+    /// Path relative to the lint root, with forward slashes.
+    pub path: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: {}",
+            self.rule, self.path, self.line, self.message
+        )
+    }
+}
+
+/// Result of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings that survived the allowlist, sorted by path/line.
+    pub violations: Vec<Violation>,
+    /// Allowlist entries that matched nothing (stale — should be removed).
+    pub unused_allow: Vec<String>,
+}
+
+struct AllowEntry {
+    rule: String,
+    path_substring: String,
+    raw: String,
+    used: bool,
+}
+
+/// Runs every rule over the tree rooted at `root` (a workspace checkout).
+///
+/// # Errors
+///
+/// Returns a message when the tree cannot be walked or a file read.
+pub fn run(root: &Path) -> Result<LintReport, String> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+
+    let mut allow = load_allowlist(root)?;
+    let mut violations = Vec::new();
+    // site name -> (rank, first declaration site)
+    let mut code_sites: BTreeMap<String, (u64, String, usize)> = BTreeMap::new();
+
+    for rel in &files {
+        let raw = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("reading {}: {e}", rel.display()))?;
+        let rel_str = rel_display(rel);
+        scan_file(&rel_str, &raw, &mut violations, &mut code_sites);
+    }
+
+    check_rank_table(root, &code_sites, &mut violations);
+
+    violations.retain(|v| {
+        let suppressed = allow
+            .iter_mut()
+            .find(|a| a.rule == v.rule && v.path.contains(&a.path_substring));
+        match suppressed {
+            Some(entry) => {
+                entry.used = true;
+                false
+            }
+            None => true,
+        }
+    });
+    violations.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+
+    Ok(LintReport {
+        violations,
+        unused_allow: allow
+            .into_iter()
+            .filter(|a| !a.used)
+            .map(|a| a.raw)
+            .collect(),
+    })
+}
+
+/// Directory names that are never scanned: build output, VCS state, the
+/// vendored shims (the one place raw `std::sync` is the point), and the
+/// linter's own violation fixtures.
+const SKIP_DIRS: &[&str] = &["target", ".git", "shims", "fixtures", "node_modules"];
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("stripping {}: {e}", path.display()))?;
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+fn rel_display(rel: &Path) -> String {
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn load_allowlist(root: &Path) -> Result<Vec<AllowEntry>, String> {
+    let path = root.join("crates/analysis/lint-allow.txt");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Ok(Vec::new());
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(path_substring)) = (parts.next(), parts.next()) else {
+            return Err(format!("malformed allowlist line: {line:?}"));
+        };
+        out.push(AllowEntry {
+            rule: rule.to_string(),
+            path_substring: path_substring.to_string(),
+            raw: line.to_string(),
+            used: false,
+        });
+    }
+    Ok(out)
+}
+
+/// Whether the unwrap rule applies to this path (non-test source of the
+/// serve/durability/cross-shard crates).
+fn unwrap_scope(path: &str) -> bool {
+    ["crates/server/src/", "crates/wal/src/", "crates/shard/src/"]
+        .iter()
+        .any(|p| path.starts_with(p))
+}
+
+/// Whether the sleep rule exempts this path wholesale: test trees and the
+/// fault-injection layer (whose whole job is injected delays/stalls).
+fn sleep_exempt(path: &str) -> bool {
+    path.split('/').any(|c| c == "tests") || path.contains("faults")
+}
+
+/// Whether `::named(...)` declarations in this path feed the rank table:
+/// only non-test library source of workspace crates.
+fn rank_scope(path: &str) -> bool {
+    path.starts_with("crates/") && path.contains("/src/")
+}
+
+fn scan_file(
+    path: &str,
+    raw: &str,
+    violations: &mut Vec<Violation>,
+    code_sites: &mut BTreeMap<String, (u64, String, usize)>,
+) {
+    let scrubbed = scrub(raw);
+    let test_lines = mark_test_lines(&scrubbed);
+    let in_tests_dir = path.split('/').any(|c| c == "tests");
+
+    // Patterns are assembled so this file does not match itself.
+    let std_sync_pat = concat!("std", "::sync::");
+    let unwrap_pat = concat!(".unw", "rap()");
+    let expect_pat = concat!(".exp", "ect(");
+    let sleep_pat = concat!("thread", "::sleep");
+
+    for (idx, line) in scrubbed.lines().enumerate() {
+        let lineno = idx + 1;
+        let is_test = test_lines.get(idx).copied().unwrap_or(false);
+
+        for (pos, _) in line.match_indices(std_sync_pat) {
+            let after = &line[pos + std_sync_pat.len()..];
+            if let Some(primitive) = std_sync_primitive(after) {
+                violations.push(Violation {
+                    rule: "std-sync",
+                    path: path.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "`std::sync::{primitive}` outside shims/; use the \
+                         instrumented `parking_lot` shim instead"
+                    ),
+                });
+            }
+        }
+
+        if unwrap_scope(path) && !is_test && !in_tests_dir {
+            if line.contains(unwrap_pat) {
+                violations.push(Violation {
+                    rule: "unwrap",
+                    path: path.to_string(),
+                    line: lineno,
+                    message: "`.unwrap()` in non-test code; return an error instead".to_string(),
+                });
+            }
+            if line.contains(expect_pat) {
+                violations.push(Violation {
+                    rule: "unwrap",
+                    path: path.to_string(),
+                    line: lineno,
+                    message: "`.expect(..)` in non-test code; return an error instead".to_string(),
+                });
+            }
+        }
+
+        if !sleep_exempt(path) && !is_test && line.contains(sleep_pat) {
+            violations.push(Violation {
+                rule: "sleep",
+                path: path.to_string(),
+                line: lineno,
+                message: "`thread::sleep` outside tests/faults; wait on a condvar or \
+                          go through the fault layer"
+                    .to_string(),
+            });
+        }
+    }
+
+    if rank_scope(path) {
+        collect_named_sites(path, raw, &scrubbed, &test_lines, violations, code_sites);
+    }
+}
+
+/// If `after` (text following `std::sync::`) names one of the banned
+/// primitives — directly or inside a `{...}` import group — returns it.
+fn std_sync_primitive(after: &str) -> Option<&'static str> {
+    const BANNED: [&str; 3] = ["Mutex", "RwLock", "Condvar"];
+    if let Some(rest) = after.strip_prefix('{') {
+        let group = rest.split('}').next().unwrap_or(rest);
+        for word in group.split([',', ' ']) {
+            let word = word.trim();
+            if let Some(b) = BANNED.iter().find(|b| **b == word) {
+                return Some(b);
+            }
+        }
+        return None;
+    }
+    let ident: String = after
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    BANNED.iter().find(|b| **b == ident).copied()
+}
+
+/// Finds `::named("site", rank, ...)` / `::named_group(...)` declarations,
+/// reading the site name and rank from the raw text (the scrubbed text has
+/// string contents blanked). Ranks must be integer literals.
+fn collect_named_sites(
+    path: &str,
+    raw: &str,
+    scrubbed: &str,
+    test_lines: &[bool],
+    violations: &mut Vec<Violation>,
+    code_sites: &mut BTreeMap<String, (u64, String, usize)>,
+) {
+    let named_pat = concat!("::na", "med(");
+    let group_pat = concat!("::na", "med_group(");
+    let mut offsets: Vec<usize> = scrubbed
+        .match_indices(group_pat)
+        .map(|(pos, _)| pos + group_pat.len())
+        .collect();
+    // `named_group(` also contains no `named(` match (different suffix), so
+    // the two passes never double-count one call.
+    offsets.extend(
+        scrubbed
+            .match_indices(named_pat)
+            .map(|(pos, _)| pos + named_pat.len()),
+    );
+    offsets.sort_unstable();
+
+    for offset in offsets {
+        let lineno = scrubbed[..offset].matches('\n').count() + 1;
+        if test_lines.get(lineno - 1).copied().unwrap_or(false) {
+            continue;
+        }
+        match parse_site_args(&raw[offset..]) {
+            Some((name, rank)) => match code_sites.get(&name) {
+                Some(&(existing, _, _)) if existing != rank => {
+                    violations.push(Violation {
+                        rule: "rank-table",
+                        path: path.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "site `{name}` declared with rank {rank} here but rank \
+                             {existing} elsewhere"
+                        ),
+                    });
+                }
+                Some(_) => {}
+                None => {
+                    code_sites.insert(name, (rank, path.to_string(), lineno));
+                }
+            },
+            None => violations.push(Violation {
+                rule: "rank-table",
+                path: path.to_string(),
+                line: lineno,
+                message: "could not parse site declaration: expected \
+                          (\"site.name\", <integer literal rank>, ...)"
+                    .to_string(),
+            }),
+        }
+    }
+}
+
+/// Parses `"name" , 123` from the raw text following a `::named(`.
+fn parse_site_args(raw: &str) -> Option<(String, u64)> {
+    let mut chars = raw.char_indices().peekable();
+    // opening quote
+    loop {
+        let (_, c) = chars.next()?;
+        if c == '"' {
+            break;
+        }
+        if !c.is_whitespace() {
+            return None;
+        }
+    }
+    let mut name = String::new();
+    loop {
+        let (_, c) = chars.next()?;
+        if c == '"' {
+            break;
+        }
+        name.push(c);
+    }
+    // comma
+    loop {
+        let (_, c) = chars.next()?;
+        if c == ',' {
+            break;
+        }
+        if !c.is_whitespace() {
+            return None;
+        }
+    }
+    // integer literal
+    let mut digits = String::new();
+    for (_, c) in chars {
+        if c.is_ascii_digit() {
+            digits.push(c);
+        } else if c == '_' || (c.is_whitespace() && digits.is_empty()) {
+            continue;
+        } else {
+            break;
+        }
+    }
+    if name.is_empty() || digits.is_empty() {
+        return None;
+    }
+    Some((name, digits.parse().ok()?))
+}
+
+const TABLE_BEGIN: &str = "<!-- lock-rank-table:begin -->";
+const TABLE_END: &str = "<!-- lock-rank-table:end -->";
+
+/// Cross-checks the declared sites against the canonical rank table in
+/// `ARCHITECTURE.md`, in both directions.
+fn check_rank_table(
+    root: &Path,
+    code_sites: &BTreeMap<String, (u64, String, usize)>,
+    violations: &mut Vec<Violation>,
+) {
+    let arch_path = "ARCHITECTURE.md";
+    let text = std::fs::read_to_string(root.join(arch_path)).unwrap_or_default();
+    let mut table: BTreeMap<String, (u64, usize)> = BTreeMap::new();
+    let mut inside = false;
+    let mut saw_markers = false;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim() == TABLE_BEGIN {
+            inside = true;
+            saw_markers = true;
+            continue;
+        }
+        if line.trim() == TABLE_END {
+            inside = false;
+            continue;
+        }
+        if !inside {
+            continue;
+        }
+        if let Some((site, rank)) = parse_table_row(line) {
+            table.insert(site, (rank, idx + 1));
+        }
+    }
+
+    if !saw_markers {
+        if !code_sites.is_empty() {
+            violations.push(Violation {
+                rule: "rank-table",
+                path: arch_path.to_string(),
+                line: 0,
+                message: format!(
+                    "no `{TABLE_BEGIN}` .. `{TABLE_END}` block found, but the source \
+                     declares {} named lock sites",
+                    code_sites.len()
+                ),
+            });
+        }
+        return;
+    }
+
+    for (name, &(rank, ref path, line)) in code_sites {
+        match table.get(name) {
+            None => violations.push(Violation {
+                rule: "rank-table",
+                path: path.clone(),
+                line,
+                message: format!(
+                    "site `{name}` (rank {rank}) is not in the ARCHITECTURE.md rank table"
+                ),
+            }),
+            Some(&(table_rank, table_line)) if table_rank != rank => {
+                violations.push(Violation {
+                    rule: "rank-table",
+                    path: path.clone(),
+                    line,
+                    message: format!(
+                        "site `{name}` declared with rank {rank} but the rank table \
+                         ({arch_path}:{table_line}) says {table_rank}"
+                    ),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    for (name, &(rank, line)) in &table {
+        if !code_sites.contains_key(name) {
+            violations.push(Violation {
+                rule: "rank-table",
+                path: arch_path.to_string(),
+                line,
+                message: format!(
+                    "rank table lists site `{name}` (rank {rank}) but no \
+                     `::named(\"{name}\", ...)` declaration exists in crates/*/src"
+                ),
+            });
+        }
+    }
+}
+
+/// Parses one markdown table row into `(site, rank)`: the first
+/// backtick-quoted cell is the site, the first all-digits cell the rank.
+fn parse_table_row(line: &str) -> Option<(String, u64)> {
+    let trimmed = line.trim();
+    if !trimmed.starts_with('|') {
+        return None;
+    }
+    let mut site = None;
+    let mut rank = None;
+    for cell in trimmed.split('|') {
+        let cell = cell.trim();
+        if site.is_none() && cell.len() > 2 && cell.starts_with('`') && cell.ends_with('`') {
+            site = Some(cell[1..cell.len() - 1].to_string());
+        }
+        if rank.is_none() && !cell.is_empty() && cell.chars().all(|c| c.is_ascii_digit()) {
+            rank = Some(cell.parse().ok()?);
+        }
+    }
+    Some((site?, rank?))
+}
+
+/// Blanks comments, string contents and char literals with spaces,
+/// preserving byte offsets and line structure exactly.
+fn scrub(raw: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+    }
+    let bytes = raw.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match state {
+            State::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'"' {
+                    // Raw string? Look back over #s to an `r` not preceded
+                    // by an identifier character.
+                    let mut j = i;
+                    let mut hashes = 0u32;
+                    while j > 0 && bytes[j - 1] == b'#' {
+                        j -= 1;
+                        hashes += 1;
+                    }
+                    let is_raw = j > 0
+                        && (bytes[j - 1] == b'r')
+                        && (j < 2 || !is_ident_byte(bytes[j - 2]) || bytes[j - 2] == b'b');
+                    if is_raw {
+                        state = State::RawStr(hashes);
+                    } else {
+                        state = State::Str;
+                    }
+                    out.push(b' ');
+                    i += 1;
+                } else if b == b'\'' {
+                    // Char literal vs lifetime.
+                    if bytes.get(i + 1) == Some(&b'\\') {
+                        // Escaped char literal: blank to the closing quote.
+                        let mut j = i + 2;
+                        while j < bytes.len() && bytes[j] != b'\'' {
+                            j += 1;
+                        }
+                        let blanked = j.min(bytes.len() - 1) - i + 1;
+                        out.extend(std::iter::repeat_n(b' ', blanked));
+                        i = j + 1;
+                    } else if bytes.get(i + 2) == Some(&b'\'') {
+                        out.extend_from_slice(b"   ");
+                        i += 3;
+                    } else {
+                        out.push(b);
+                        i += 1;
+                    }
+                } else {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                if b == b'\n' {
+                    state = State::Code;
+                    out.push(b);
+                } else {
+                    out.push(blank(b));
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    out.push(blank(b));
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Code;
+                    out.push(b' ');
+                    i += 1;
+                } else {
+                    out.push(blank(b));
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' {
+                    let mut matched = true;
+                    for k in 0..hashes as usize {
+                        if bytes.get(i + 1 + k) != Some(&b'#') {
+                            matched = false;
+                            break;
+                        }
+                    }
+                    if matched {
+                        state = State::Code;
+                        out.extend(std::iter::repeat_n(b' ', 1 + hashes as usize));
+                        i += 1 + hashes as usize;
+                    } else {
+                        out.push(blank(b));
+                        i += 1;
+                    }
+                } else {
+                    out.push(blank(b));
+                    i += 1;
+                }
+            }
+        }
+    }
+    out.truncate(bytes.len());
+    while out.len() < bytes.len() {
+        out.push(b' ');
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn blank(b: u8) -> u8 {
+    if b == b'\n' {
+        b'\n'
+    } else {
+        b' '
+    }
+}
+
+/// Marks each (0-based) line that belongs to a `#[cfg(test)]`-gated block:
+/// from the attribute line through the closing brace of the item it gates.
+fn mark_test_lines(scrubbed: &str) -> Vec<bool> {
+    let line_count = scrubbed.lines().count();
+    let mut out = vec![false; line_count];
+    let attr_pat = concat!("#[cfg", "(test)]");
+    let mut armed = false;
+    let mut region_entry_depth: Option<u32> = None;
+    let mut depth: u32 = 0;
+    for (idx, line) in scrubbed.lines().enumerate() {
+        if region_entry_depth.is_none() && line.contains(attr_pat) {
+            armed = true;
+        }
+        if armed || region_entry_depth.is_some() {
+            if let Some(slot) = out.get_mut(idx) {
+                *slot = true;
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if armed {
+                        region_entry_depth = Some(depth);
+                        armed = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if region_entry_depth == Some(depth) {
+                        region_entry_depth = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_blanks_comments_strings_and_chars() {
+        let src = "let a = \"std::sync::Mutex\"; // std::sync::Mutex\nlet b = '\\n'; /* x */ let c = 'x';\n";
+        let scrubbed = scrub(src);
+        assert_eq!(scrubbed.len(), src.len());
+        assert!(!scrubbed.contains("Mutex"));
+        assert!(!scrubbed.contains("x "));
+        assert!(scrubbed.contains("let a"));
+        assert!(scrubbed.contains("let b"));
+    }
+
+    #[test]
+    fn scrub_keeps_lifetimes() {
+        let scrubbed = scrub("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(scrubbed.contains("<'a>"));
+        assert!(scrubbed.contains("&'a str"));
+    }
+
+    #[test]
+    fn scrub_handles_raw_strings() {
+        let scrubbed = scrub("let p = r#\"thread::sleep\"#; call();");
+        assert!(!scrubbed.contains("sleep"));
+        assert!(scrubbed.contains("call()"));
+    }
+
+    #[test]
+    fn test_block_detection_covers_cfg_test_mod() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let marks = mark_test_lines(&scrub(src));
+        assert_eq!(marks, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn std_sync_detects_brace_groups() {
+        assert_eq!(std_sync_primitive("{Arc, Mutex}"), Some("Mutex"));
+        assert_eq!(std_sync_primitive("RwLock<u32>"), Some("RwLock"));
+        assert_eq!(std_sync_primitive("{Arc}"), None);
+        assert_eq!(std_sync_primitive("atomic::AtomicU64"), None);
+        assert_eq!(std_sync_primitive("mpsc::channel"), None);
+    }
+
+    #[test]
+    fn site_args_parse_across_lines() {
+        assert_eq!(
+            parse_site_args("\n    \"core.cell.data\",\n    62,\n    value)"),
+            Some(("core.cell.data".to_string(), 62))
+        );
+        assert_eq!(parse_site_args("\"x\", RANK, v)"), None);
+    }
+
+    #[test]
+    fn table_rows_parse() {
+        assert_eq!(
+            parse_table_row("| 62 | `core.cell.data` | `Mutex` | per-key version state |"),
+            Some(("core.cell.data".to_string(), 62))
+        );
+        assert_eq!(parse_table_row("|-----|------|"), None);
+        assert_eq!(parse_table_row("not a row"), None);
+    }
+}

@@ -1,0 +1,194 @@
+//! Pins each `mvtl-lint` rule against a violation fixture tree, and gates the
+//! real workspace: the linter must find every planted violation (at the exact
+//! line), must not flag the decoys, and must report the live tree clean.
+
+use std::path::PathBuf;
+
+use mvtl_analysis::lint::{self, Violation};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn run(name: &str) -> Vec<Violation> {
+    lint::run(&fixture(name))
+        .expect("lint run succeeds")
+        .violations
+}
+
+fn lines_for(violations: &[Violation], rule: &str, path: &str) -> Vec<usize> {
+    violations
+        .iter()
+        .filter(|v| v.rule == rule && v.path == path)
+        .map(|v| v.line)
+        .collect()
+}
+
+#[test]
+fn std_sync_fixture_flags_every_raw_lock_and_no_decoys() {
+    let violations = run("std_sync");
+    assert_eq!(
+        lines_for(&violations, "std-sync", "crates/demo/src/lib.rs"),
+        vec![4, 8, 13, 27],
+        "violations: {violations:?}"
+    );
+    // Nothing else fires: atomics, comments and strings are decoys.
+    assert_eq!(violations.len(), 4, "violations: {violations:?}");
+    assert!(violations.iter().any(|v| v.message.contains("Condvar")));
+}
+
+#[test]
+fn unwrap_fixture_flags_non_test_unwrap_and_expect_only() {
+    let violations = run("unwrap");
+    assert_eq!(
+        lines_for(&violations, "unwrap", "crates/server/src/lib.rs"),
+        vec![5, 9],
+        "violations: {violations:?}"
+    );
+    assert_eq!(violations.len(), 2, "violations: {violations:?}");
+}
+
+#[test]
+fn sleep_fixture_flags_non_test_sleep_only() {
+    let violations = run("sleep");
+    assert_eq!(
+        lines_for(&violations, "sleep", "crates/demo/src/lib.rs"),
+        vec![5],
+        "violations: {violations:?}"
+    );
+    assert_eq!(violations.len(), 1, "violations: {violations:?}");
+}
+
+#[test]
+fn rank_fixture_flags_mismatch_missing_phantom_and_non_literal() {
+    let violations = run("rank_mismatch");
+    let rank: Vec<&Violation> = violations
+        .iter()
+        .filter(|v| v.rule == "rank-table")
+        .collect();
+    assert_eq!(rank.len(), violations.len(), "violations: {violations:?}");
+
+    // Declared rank disagrees with the table.
+    assert!(
+        rank.iter().any(|v| {
+            v.path == "crates/demo/src/lib.rs"
+                && v.line == 8
+                && v.message.contains("fixture.mismatch")
+                && v.message.contains("99")
+                && v.message.contains("20")
+        }),
+        "violations: {violations:?}"
+    );
+    // Declared site absent from the table (named_group declarations count too).
+    assert!(
+        rank.iter().any(|v| {
+            v.path == "crates/demo/src/lib.rs"
+                && v.line == 9
+                && v.message.contains("fixture.not_in_table")
+        }),
+        "violations: {violations:?}"
+    );
+    // Table row without a backing declaration, reported at the table row.
+    assert!(
+        rank.iter().any(|v| {
+            v.path == "ARCHITECTURE.md" && v.line == 12 && v.message.contains("fixture.phantom")
+        }),
+        "violations: {violations:?}"
+    );
+    // Rank expression is not an integer literal.
+    assert!(
+        rank.iter().any(|v| {
+            v.path == "crates/demo/src/lib.rs"
+                && v.line == 16
+                && v.message.contains("integer literal")
+        }),
+        "violations: {violations:?}"
+    );
+    // Rows outside the marker block are ignored.
+    assert!(
+        !rank.iter().any(|v| v.message.contains("outside_markers")),
+        "violations: {violations:?}"
+    );
+    assert_eq!(rank.len(), 4, "violations: {violations:?}");
+}
+
+#[test]
+fn allowlist_suppresses_matches_and_reports_stale_entries() {
+    let report = lint::run(&fixture("allow")).expect("lint run succeeds");
+    assert!(
+        report.violations.is_empty(),
+        "violations: {:?}",
+        report.violations
+    );
+    assert_eq!(
+        report.unused_allow.len(),
+        1,
+        "unused: {:?}",
+        report.unused_allow
+    );
+    assert!(report.unused_allow[0].contains("crates/nonexistent/"));
+}
+
+#[test]
+fn real_workspace_is_clean_with_no_stale_allowlist_entries() {
+    let report = lint::run(&workspace_root()).expect("lint run succeeds");
+    assert!(
+        report.violations.is_empty(),
+        "workspace lint violations: {:#?}",
+        report.violations
+    );
+    assert!(
+        report.unused_allow.is_empty(),
+        "stale allowlist entries: {:?}",
+        report.unused_allow
+    );
+}
+
+#[test]
+fn binary_exit_codes_match_the_contract() {
+    let bin = env!("CARGO_BIN_EXE_mvtl-lint");
+
+    // Exit 0 on the real workspace.
+    let clean = std::process::Command::new(bin)
+        .arg("--root")
+        .arg(workspace_root())
+        .output()
+        .expect("run mvtl-lint");
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "stdout: {}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+
+    // Exit 1 on each violation fixture.
+    for fixture_name in ["std_sync", "unwrap", "sleep", "rank_mismatch"] {
+        let out = std::process::Command::new(bin)
+            .arg("--root")
+            .arg(fixture(fixture_name))
+            .output()
+            .expect("run mvtl-lint");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "fixture {fixture_name}: stdout: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+
+    // Exit 2 on usage errors.
+    let usage = std::process::Command::new(bin)
+        .arg("--bogus")
+        .output()
+        .expect("run mvtl-lint");
+    assert_eq!(usage.status.code(), Some(2));
+}

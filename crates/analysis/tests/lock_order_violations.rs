@@ -1,0 +1,155 @@
+//! Lock-order tracker: edge-level cycle detection.
+//!
+//! This binary deliberately creates cyclic site graphs, so it must stay a
+//! *separate* test binary from `lock_order_integration` (the graph is global
+//! per process and `assert_acyclic` there would see our planted cycles).
+
+#![cfg(feature = "lock-order")]
+
+use std::panic::AssertUnwindSafe;
+
+use mvtl_analysis::lock_order::{self, OnCycle};
+use parking_lot::Mutex;
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        String::from("<non-string panic payload>")
+    }
+}
+
+/// The `OnCycle` switch is global, so every phase that depends on it lives in
+/// this one test: record-mode detection, non-group self-edges, and the
+/// panic-mode message. Sibling tests use sites these phases never touch.
+#[test]
+fn inversions_are_reported_with_both_site_names() {
+    // Phase 1: Record mode — an AB/BA inversion is recorded, naming both
+    // sites, without panicking.
+    lock_order::set_on_cycle(OnCycle::Record);
+    let a = Mutex::named("viol.rec.a", 1, ());
+    let b = Mutex::named("viol.rec.b", 2, ());
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }
+    let recorded = lock_order::recorded_violations();
+    assert!(
+        recorded
+            .iter()
+            .any(|m| m.contains("viol.rec.a") && m.contains("viol.rec.b")),
+        "inversion not recorded with both site names: {recorded:?}"
+    );
+
+    // Phase 2: still Record mode — nesting two locks of the same *non-group*
+    // site is a self-edge violation.
+    let c1 = Mutex::named("viol.rec.self", 3, ());
+    let c2 = Mutex::named("viol.rec.self", 3, ());
+    {
+        let _g1 = c1.lock();
+        let _g2 = c2.lock();
+    }
+    let recorded = lock_order::recorded_violations();
+    assert!(
+        recorded.iter().any(|m| m.contains("viol.rec.self")),
+        "non-group self-edge not recorded: {recorded:?}"
+    );
+
+    // Phase 3: Panic mode (the default) — the closing acquisition panics and
+    // the message names both sites.
+    lock_order::set_on_cycle(OnCycle::Panic);
+    let x = Mutex::named("viol.pan.a", 1, ());
+    let y = Mutex::named("viol.pan.b", 2, ());
+    {
+        let _gx = x.lock();
+        let _gy = y.lock();
+    }
+    let payload = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let _gy = y.lock();
+        let _gx = x.lock();
+    }))
+    .expect_err("closing an AB/BA cycle must panic in Panic mode");
+    let msg = panic_message(payload);
+    assert!(
+        msg.contains("viol.pan.a") && msg.contains("viol.pan.b"),
+        "cycle panic does not name both sites: {msg}"
+    );
+    assert!(
+        msg.contains("lock-order cycle"),
+        "unexpected panic message: {msg}"
+    );
+}
+
+#[test]
+fn ordered_acquisition_is_not_flagged() {
+    let a = Mutex::named("viol.ord.a", 1, ());
+    let b = Mutex::named("viol.ord.b", 2, ());
+    for _ in 0..3 {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    let recorded = lock_order::recorded_violations();
+    assert!(
+        !recorded.iter().any(|m| m.contains("viol.ord")),
+        "consistently ordered sites were flagged: {recorded:?}"
+    );
+    assert!(
+        !lock_order::cycles()
+            .iter()
+            .any(|c| c.iter().any(|s| s.starts_with("viol.ord"))),
+        "consistently ordered sites form a cycle"
+    );
+    assert!(
+        lock_order::edges()
+            .iter()
+            .any(|(f, t)| *f == "viol.ord.a" && *t == "viol.ord.b"),
+        "the a->b edge should have been observed"
+    );
+}
+
+#[test]
+fn group_sites_allow_same_site_nesting() {
+    // mvto-style sorted commit latching: many locks of one group site.
+    let k1 = Mutex::named_group("viol.grp.key", 5, ());
+    let k2 = Mutex::named_group("viol.grp.key", 5, ());
+    let k3 = Mutex::named_group("viol.grp.key", 5, ());
+    {
+        let _g1 = k1.lock();
+        let _g2 = k2.lock();
+        let _g3 = k3.lock();
+    }
+    let recorded = lock_order::recorded_violations();
+    assert!(
+        !recorded.iter().any(|m| m.contains("viol.grp.key")),
+        "group self-nesting was flagged: {recorded:?}"
+    );
+    assert!(
+        !lock_order::cycles()
+            .iter()
+            .any(|c| c.contains(&"viol.grp.key")),
+        "group self-edge reported as a cycle"
+    );
+}
+
+#[test]
+fn try_acquisitions_add_no_order_edges() {
+    let a = Mutex::named("viol.try.a", 9, ());
+    let b = Mutex::named("viol.try.b", 8, ());
+    let _ga = a.lock();
+    // Blocking on `b` here would be a rank inversion; try_lock is exempt
+    // because a failed try cannot deadlock.
+    let gb = b.try_lock().expect("uncontended try_lock succeeds");
+    drop(gb);
+    assert!(
+        !lock_order::edges()
+            .iter()
+            .any(|(f, t)| *f == "viol.try.a" && *t == "viol.try.b"),
+        "try_lock must not record order edges"
+    );
+}

@@ -1,0 +1,98 @@
+//! Waits-for watchdog: a *real* AB-BA deadlock dies with a panic naming the
+//! full cycle instead of hanging the suite; mere contention does not trip it.
+//!
+//! Separate test binary: the deadlock poisons the global site graph with a
+//! cyclic edge pair, which would fail `lock_order::assert_acyclic()` in the
+//! integration binary.
+
+#![cfg(feature = "lock-order")]
+
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+use mvtl_analysis::lock_order::{self, OnCycle};
+use parking_lot::Mutex;
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        String::from("<non-string panic payload>")
+    }
+}
+
+#[test]
+fn real_deadlock_panics_naming_the_cycle() {
+    // Record mode keeps the *edge-level* check from panicking when the second
+    // thread's acquisition closes the AB/BA pattern — we want the actual
+    // blocked cycle to form so the waits-for watchdog is what fires.
+    lock_order::set_on_cycle(OnCycle::Record);
+
+    let a = Arc::new(Mutex::named("wd.a", 1, ()));
+    let b = Arc::new(Mutex::named("wd.b", 2, ()));
+    let barrier = Arc::new(Barrier::new(2));
+
+    let t1 = {
+        let (a, b, barrier) = (Arc::clone(&a), Arc::clone(&b), Arc::clone(&barrier));
+        std::thread::spawn(move || {
+            let _ga = a.lock();
+            barrier.wait();
+            let _gb = b.lock();
+        })
+    };
+    let t2 = {
+        let (a, b, barrier) = (Arc::clone(&a), Arc::clone(&b), Arc::clone(&barrier));
+        std::thread::spawn(move || {
+            let _gb = b.lock();
+            barrier.wait();
+            let _ga = a.lock();
+        })
+    };
+
+    // At least one thread must die with the watchdog's cycle description; the
+    // unwind releases its lock, which lets the other thread finish (either
+    // cleanly or with its own detection panic).
+    let mut messages = Vec::new();
+    for t in [t1, t2] {
+        if let Err(payload) = t.join() {
+            messages.push(panic_message(payload));
+        }
+    }
+    assert!(
+        !messages.is_empty(),
+        "an actual AB-BA deadlock must trip the watchdog"
+    );
+    for msg in &messages {
+        assert!(
+            msg.contains("deadlock detected") && msg.contains("wd.a") && msg.contains("wd.b"),
+            "watchdog panic does not describe the cycle: {msg}"
+        );
+    }
+}
+
+#[test]
+fn contention_without_a_cycle_does_not_trip_the_watchdog() {
+    let m = Arc::new(Mutex::named("wd.slow", 9, ()));
+    let holder = {
+        let m = Arc::clone(&m);
+        std::thread::spawn(move || {
+            let _g = m.lock();
+            // Hold well past the watchdog threshold (default 250ms): the
+            // waiter is blocked long enough for a deadlock check to run.
+            std::thread::sleep(Duration::from_millis(600));
+        })
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    let waiter = {
+        let m = Arc::clone(&m);
+        std::thread::spawn(move || {
+            let _g = m.lock();
+        })
+    };
+    holder.join().expect("holder must not panic");
+    waiter
+        .join()
+        .expect("plain contention must not be reported as deadlock");
+}

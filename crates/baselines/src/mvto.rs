@@ -158,7 +158,9 @@ where
     pub fn new(clock: Arc<dyn ClockSource>) -> Self {
         MvtoStore {
             clock,
-            shards: (0..64).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..64)
+                .map(|_| RwLock::named("baselines.mvto.shard", 54, HashMap::new()))
+                .collect(),
             active: ActiveTxnRegistry::new(),
         }
     }
@@ -173,7 +175,14 @@ where
             return Arc::clone(cell);
         }
         let mut map = shard.write();
-        Arc::clone(map.entry(key).or_default())
+        Arc::clone(map.entry(key).or_insert_with(|| {
+            // Commit latches several key mutexes at once (sorted): a group site.
+            Arc::new(Mutex::named_group(
+                "baselines.mvto.key",
+                56,
+                MvtoKeyState::default(),
+            ))
+        }))
     }
 
     /// Purges versions older than `bound` (keeping the most recent one per

@@ -70,7 +70,7 @@ struct TplCell<V> {
 impl<V> Default for TplCell<V> {
     fn default() -> Self {
         TplCell {
-            state: Mutex::new(TplKeyState::default()),
+            state: Mutex::named("baselines.tpl.key", 52, TplKeyState::default()),
             released: Condvar::new(),
         }
     }
@@ -111,7 +111,9 @@ where
     #[must_use]
     pub fn new(clock: Arc<dyn ClockSource>, lock_timeout: Duration) -> Self {
         TwoPhaseLockingStore {
-            shards: (0..64).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..64)
+                .map(|_| RwLock::named("baselines.tpl.shard", 50, HashMap::new()))
+                .collect(),
             lock_timeout,
             commit_seq: AtomicU64::new(1),
             clock,

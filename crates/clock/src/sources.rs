@@ -104,7 +104,7 @@ impl<C: ClockSource> SkewedClock<C> {
         SkewedClock {
             inner,
             offsets,
-            advances: Mutex::new(HashMap::new()),
+            advances: Mutex::named("clock.advances", 74, HashMap::new()),
         }
     }
 
@@ -197,7 +197,7 @@ impl ManualClock {
     #[must_use]
     pub fn new() -> Self {
         ManualClock {
-            scripts: Mutex::new(HashMap::new()),
+            scripts: Mutex::named("clock.scripts", 76, HashMap::new()),
             fallback: AtomicU64::new(1),
         }
     }

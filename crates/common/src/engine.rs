@@ -106,7 +106,7 @@ pub trait TxHandle<V>: Send {
 /// ```
 /// # use mvtl_common::{CommitInfo, Key, ProcessId, Timestamp, TransactionalKV, TxError, TxId};
 /// # use std::collections::HashMap;
-/// # use std::sync::Mutex;
+/// # use parking_lot::Mutex;
 /// # #[derive(Default)]
 /// # struct Toy { data: Mutex<HashMap<Key, u64>> }
 /// # struct ToyTxn { reads: Vec<(Key, Timestamp)>, writes: Vec<(Key, u64)> }
@@ -118,14 +118,14 @@ pub trait TxHandle<V>: Send {
 /// #     fn read(&self, txn: &mut ToyTxn, key: Key) -> Result<Option<u64>, TxError> {
 /// #         txn.reads.push((key, Timestamp::ZERO));
 /// #         Ok(txn.writes.iter().rev().find(|(k, _)| *k == key).map(|(_, v)| *v)
-/// #             .or_else(|| self.data.lock().unwrap().get(&key).copied()))
+/// #             .or_else(|| self.data.lock().get(&key).copied()))
 /// #     }
 /// #     fn write(&self, txn: &mut ToyTxn, key: Key, value: u64) -> Result<(), TxError> {
 /// #         txn.writes.push((key, value));
 /// #         Ok(())
 /// #     }
 /// #     fn commit(&self, txn: ToyTxn) -> Result<CommitInfo, TxError> {
-/// #         let mut data = self.data.lock().unwrap();
+/// #         let mut data = self.data.lock();
 /// #         let writes: Vec<Key> = txn.writes.iter().map(|(k, _)| *k).collect();
 /// #         for (k, v) in txn.writes { data.insert(k, v); }
 /// #         Ok(CommitInfo { tx: TxId(0), commit_ts: None, reads: txn.reads, writes })
@@ -574,9 +574,9 @@ impl<V, E: Engine<V> + ?Sized> EngineExt<V> for E {}
 mod tests {
     use super::*;
     use crate::{AbortReason, TxId};
+    use parking_lot::Mutex;
     use std::collections::HashMap;
     use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::Mutex;
 
     /// A deliberately simple engine: no concurrency control, but it counts
     /// begin/commit/abort calls so the RAII and retry plumbing can be checked
@@ -615,7 +615,7 @@ mod tests {
                 .rev()
                 .find(|(k, _)| *k == key)
                 .map(|(_, v)| *v)
-                .or_else(|| self.data.lock().unwrap().get(&key).copied()))
+                .or_else(|| self.data.lock().get(&key).copied()))
         }
 
         fn write(&self, txn: &mut Self::Txn, key: Key, value: u64) -> Result<(), TxError> {
@@ -632,7 +632,7 @@ mod tests {
                 return Err(TxError::aborted(AbortReason::NoCommonTimestamp));
             }
             self.commits.fetch_add(1, Ordering::Relaxed);
-            let mut data = self.data.lock().unwrap();
+            let mut data = self.data.lock();
             let writes: Vec<Key> = txn.writes.iter().map(|(k, _)| *k).collect();
             for (k, v) in txn.writes {
                 data.insert(k, v);

@@ -12,8 +12,8 @@
 //! active transaction has anchored.
 
 use crate::Timestamp;
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
-use std::sync::Mutex;
 
 /// A ticket returned by [`ActiveTxnRegistry::register`]; hand it back to
 /// [`ActiveTxnRegistry::deregister`] when the transaction finishes.
@@ -40,9 +40,17 @@ impl TxnPin {
 /// so registration, deregistration and the watermark query are all
 /// `O(log n)` in the number of *active* transactions — the registry never
 /// grows with history.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ActiveTxnRegistry {
     inner: Mutex<RegistryInner>,
+}
+
+impl Default for ActiveTxnRegistry {
+    fn default() -> Self {
+        ActiveTxnRegistry {
+            inner: Mutex::named("common.active_txns", 70, RegistryInner::default()),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -62,7 +70,7 @@ impl ActiveTxnRegistry {
     /// above `ts` is safe until the returned pin is deregistered.
     #[must_use]
     pub fn register(&self, ts: Timestamp) -> TxnPin {
-        let mut inner = self.inner.lock().expect("registry mutex poisoned");
+        let mut inner = self.inner.lock();
         let seq = inner.next_seq;
         inner.next_seq = inner.next_seq.wrapping_add(1);
         inner.pins.insert((ts, seq), ());
@@ -71,7 +79,7 @@ impl ActiveTxnRegistry {
 
     /// Deregisters a finished transaction. Idempotent.
     pub fn deregister(&self, pin: TxnPin) {
-        let mut inner = self.inner.lock().expect("registry mutex poisoned");
+        let mut inner = self.inner.lock();
         inner.pins.remove(&(pin.ts, pin.seq));
     }
 
@@ -79,14 +87,14 @@ impl ActiveTxnRegistry {
     /// when no transaction is in flight (any lag-derived bound is then safe).
     #[must_use]
     pub fn low_watermark(&self) -> Option<Timestamp> {
-        let inner = self.inner.lock().expect("registry mutex poisoned");
+        let inner = self.inner.lock();
         inner.pins.keys().next().map(|(ts, _)| *ts)
     }
 
     /// Number of transactions currently registered.
     #[must_use]
     pub fn active_count(&self) -> usize {
-        let inner = self.inner.lock().expect("registry mutex poisoned");
+        let inner = self.inner.lock();
         inner.pins.len()
     }
 }

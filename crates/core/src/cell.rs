@@ -35,7 +35,7 @@ pub(crate) struct KeyCell<V> {
 impl<V: Clone> KeyCell<V> {
     pub(crate) fn new() -> Self {
         KeyCell {
-            data: Mutex::new(KeyData::new()),
+            data: Mutex::named("core.cell.data", 62, KeyData::new()),
             changed: Condvar::new(),
         }
     }

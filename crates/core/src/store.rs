@@ -76,7 +76,7 @@ where
     #[must_use]
     pub fn new(policy: P, clock: Arc<dyn ClockSource>, config: MvtlConfig) -> Self {
         let shards = (0..config.shards.max(1))
-            .map(|_| RwLock::new(HashMap::new()))
+            .map(|_| RwLock::named("core.store.shard", 60, HashMap::new()))
             .collect();
         MvtlStore {
             policy,

@@ -32,9 +32,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use parking_lot::Mutex;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
 /// The kinds of fault a plan can inject, used for counting and tracing.
@@ -314,7 +314,7 @@ impl FaultPlan {
             spec,
             seed,
             counters: Default::default(),
-            trace: Mutex::new(Vec::new()),
+            trace: Mutex::named("faults.trace", 72, Vec::new()),
         }
     }
 
@@ -354,14 +354,14 @@ impl FaultPlan {
     /// The recorded fault trace, one line per injection, in injection order.
     #[must_use]
     pub fn trace(&self) -> Vec<String> {
-        self.trace.lock().expect("fault trace lock").clone()
+        self.trace.lock().clone()
     }
 
     /// The trace as one newline-joined string — the unit of the byte-identity
     /// reproducibility check.
     #[must_use]
     pub fn trace_string(&self) -> String {
-        self.trace.lock().expect("fault trace lock").join("\n")
+        self.trace.lock().join("\n")
     }
 
     /// The delay (if any) to inject before shard `shard` serves its `seq`-th
@@ -461,7 +461,7 @@ impl FaultPlan {
             line.push(' ');
             line.push_str(detail);
         }
-        self.trace.lock().expect("fault trace lock").push(line);
+        self.trace.lock().push(line);
     }
 }
 

@@ -67,10 +67,11 @@ use mvtl_clock::ClockSource;
 use mvtl_common::{
     CommitInfo, Engine, Key, ProcessId, StoreStats, Timestamp, TransactionalKV, TxError,
 };
+use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -186,7 +187,6 @@ where
     }
 }
 
-#[derive(Default)]
 struct GcShared {
     stop: Mutex<bool>,
     wake: Condvar,
@@ -194,6 +194,19 @@ struct GcShared {
     purges: AtomicU64,
     versions_purged: AtomicU64,
     lock_entries_purged: AtomicU64,
+}
+
+impl Default for GcShared {
+    fn default() -> Self {
+        GcShared {
+            stop: Mutex::named("gc.stop", 90, false),
+            wake: Condvar::new(),
+            sweeps: AtomicU64::new(0),
+            purges: AtomicU64::new(0),
+            versions_purged: AtomicU64::new(0),
+            lock_entries_purged: AtomicU64::new(0),
+        }
+    }
 }
 
 /// A background thread that periodically purges an engine below
@@ -257,14 +270,13 @@ impl GcService {
         let mut samples: VecDeque<(Instant, Timestamp)> = VecDeque::new();
         loop {
             {
-                let guard = shared.stop.lock().expect("GC stop mutex poisoned");
+                let mut guard = shared.stop.lock();
                 if *guard {
                     return;
                 }
-                let (guard, _timeout) = shared
+                let _ = shared
                     .wake
-                    .wait_timeout(guard, config.interval)
-                    .expect("GC stop mutex poisoned");
+                    .wait_until(&mut guard, Instant::now() + config.interval);
                 if *guard {
                     return;
                 }
@@ -313,8 +325,7 @@ impl GcService {
     /// automatically on drop; explicit calls are idempotent.
     pub fn shutdown(&mut self) {
         {
-            let mut stop = self.shared.stop.lock().expect("GC stop mutex poisoned");
-            *stop = true;
+            *self.shared.stop.lock() = true;
         }
         self.shared.wake.notify_all();
         if let Some(handle) = self.handle.take() {

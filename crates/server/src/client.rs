@@ -12,10 +12,10 @@ use mvtl_common::{
     AbortReason, CommitInfo, Engine, Key, ProcessId, StoreStats, Timestamp, TxError, TxHandle,
 };
 use mvtl_workload::TxTemplate;
+use parking_lot::Mutex;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Mutex;
 
 /// How one pipelined transaction ended.
 #[derive(Debug, Clone, PartialEq)]
@@ -257,7 +257,7 @@ impl RemoteEngine {
         let conn = Connection::connect(addr)?;
         let name = Box::leak(conn.engine_name().to_string().into_boxed_str());
         Ok(RemoteEngine {
-            conn: Mutex::new(conn),
+            conn: Mutex::named("server.client.conn", 20, conn),
             name,
             next_txn: AtomicU32::new(0),
         })
@@ -266,15 +266,11 @@ impl RemoteEngine {
     /// The engine spec the server reported in its hello frame.
     #[must_use]
     pub fn engine_spec(&self) -> String {
-        self.conn.lock().unwrap().engine_spec().to_string()
+        self.conn.lock().engine_spec().to_string()
     }
 
     fn roundtrip(&self, req: &Request) -> Result<Response, TxError> {
-        self.conn
-            .lock()
-            .unwrap()
-            .request(req)
-            .map_err(wire_to_tx_error)
+        self.conn.lock().request(req).map_err(wire_to_tx_error)
     }
 }
 
@@ -390,6 +386,6 @@ impl Engine<u64> for RemoteEngine {
     }
 
     fn stats(&self) -> StoreStats {
-        self.conn.lock().unwrap().stats().unwrap_or_default()
+        self.conn.lock().stats().unwrap_or_default()
     }
 }

@@ -22,11 +22,11 @@ use crate::hist::LatencyHistogram;
 use crate::wire::WireError;
 use mvtl_common::ProcessId;
 use mvtl_workload::WorkloadSpec;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::net::ToSocketAddrs;
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// The arrival process shaping the open-loop schedule.
@@ -269,14 +269,15 @@ pub fn run_open_loop<A: ToSocketAddrs>(
         conns.push(Connection::connect(&addr)?);
     }
     let start = Instant::now();
-    let results: Mutex<Vec<Result<WorkerResult, WireError>>> = Mutex::new(Vec::new());
+    let results: Mutex<Vec<Result<WorkerResult, WireError>>> =
+        Mutex::named("server.driver.results", 30, Vec::new());
 
     std::thread::scope(|scope| {
         for (worker_index, conn) in conns.into_iter().enumerate() {
             let results = &results;
             scope.spawn(move || {
                 let result = worker(conn, worker_index, options, start);
-                results.lock().unwrap().push(result);
+                results.lock().push(result);
             });
         }
     });
@@ -290,7 +291,7 @@ pub fn run_open_loop<A: ToSocketAddrs>(
         elapsed_secs,
         histogram: LatencyHistogram::new(),
     };
-    for result in results.into_inner().unwrap() {
+    for result in results.into_inner() {
         let worker = result?;
         metrics.offered += worker.offered;
         metrics.committed += worker.committed;

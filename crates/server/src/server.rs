@@ -18,11 +18,12 @@ use crate::wire::{
 };
 use mvtl_common::{Engine, Transaction, TxError};
 use mvtl_registry::{EngineSpec, SpecError};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Server knobs, settable through `serve_`-prefixed spec parameters
@@ -131,24 +132,25 @@ impl Server {
         let (config, engine_spec) = ServerConfig::from_spec(spec)?;
         let engine: Arc<dyn Engine<u64>> = Arc::from(mvtl_registry::build(&engine_spec)?);
         let listener = TcpListener::bind(addr)?;
-        Ok(Self::serve(listener, engine, engine_spec, config))
+        Ok(Self::serve(listener, engine, engine_spec, config)?)
     }
 
     /// Serves an already-built engine on an already-bound listener. The
     /// handshake reports `engine_spec` to clients verbatim.
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the listener cannot report its bound address.
     pub fn serve(
         listener: TcpListener,
         engine: Arc<dyn Engine<u64>>,
         engine_spec: String,
         config: ServerConfig,
-    ) -> Server {
-        let addr = listener
-            .local_addr()
-            .expect("bound listener has an address");
+    ) -> std::io::Result<Server> {
+        let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(Shared {
-            connections: Mutex::new(Vec::new()),
+            connections: Mutex::named("server.connections", 10, Vec::new()),
         });
         let accept_thread = {
             let stop = Arc::clone(&stop);
@@ -158,13 +160,13 @@ impl Server {
                 accept_loop(&listener, &engine, &spec, &config, &stop, &shared);
             })
         };
-        Server {
+        Ok(Server {
             addr,
             engine_spec,
             stop,
             accept_thread: Some(accept_thread),
             shared,
-        }
+        })
     }
 
     /// The address the server is listening on.
@@ -192,7 +194,7 @@ impl Drop for Server {
         }
         // Shut down every live connection; their handlers drop the
         // transaction maps (aborting open transactions) and exit.
-        let connections = std::mem::take(&mut *self.shared.connections.lock().unwrap());
+        let connections = std::mem::take(&mut *self.shared.connections.lock());
         for (stream, handle) in connections {
             let _ = stream.shutdown(std::net::Shutdown::Both);
             let _ = handle.join();
@@ -239,13 +241,12 @@ fn accept_loop(
                 }
             })
         };
-        shared.connections.lock().unwrap().push((peer, handle));
+        shared.connections.lock().push((peer, handle));
         // Opportunistically reap finished handlers so a long-lived server
         // does not accumulate one parked JoinHandle per past connection.
         shared
             .connections
             .lock()
-            .unwrap()
             .retain(|(_, handle)| !handle.is_finished());
     }
 }

@@ -8,10 +8,11 @@ use mvtl_common::{
 };
 use mvtl_core::policy::LockingPolicy;
 use mvtl_core::MvtlConfig;
+use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::mpsc::{self, RecvTimeoutError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -255,7 +256,7 @@ where
         let count = participants.len();
         let shard_ids: Vec<usize> = participants.iter().map(|(shard, _)| *shard).collect();
         let slots: Vec<Arc<Mutex<PrepareSlot<V>>>> = (0..count)
-            .map(|_| Arc::new(Mutex::new(PrepareSlot::Pending)))
+            .map(|_| Arc::new(Mutex::named("shard.prepare_slot", 40, PrepareSlot::Pending)))
             .collect();
         let (done_tx, done_rx) = mpsc::channel::<usize>();
         for (idx, (_, sub)) in participants.into_iter().enumerate() {
@@ -263,7 +264,7 @@ where
             let done = done_tx.clone();
             thread::spawn(move || {
                 let result = sub.prepare();
-                let mut state = slot.lock().expect("prepare slot");
+                let mut state = slot.lock();
                 if matches!(*state, PrepareSlot::Abandoned) {
                     // The coordinator already resolved the commit by
                     // presumed abort; release this late prepare's locks.
@@ -290,7 +291,7 @@ where
                 // Name a shard that had not answered when the timeout fired.
                 let shard = slots
                     .iter()
-                    .position(|s| matches!(*s.lock().expect("prepare slot"), PrepareSlot::Pending))
+                    .position(|s| matches!(*s.lock(), PrepareSlot::Pending))
                     .map_or(0, |idx| shard_ids[idx]);
                 TxError::aborted(AbortReason::PrepareTimedOut {
                     shard: shard as u32,
@@ -302,10 +303,7 @@ where
             };
             match done_rx.recv_timeout(wait) {
                 Ok(idx) => {
-                    let state = std::mem::replace(
-                        &mut *slots[idx].lock().expect("prepare slot"),
-                        PrepareSlot::Pending,
-                    );
+                    let state = std::mem::replace(&mut *slots[idx].lock(), PrepareSlot::Pending);
                     match state {
                         PrepareSlot::Delivered(Ok(p)) => {
                             prepared[idx] = Some(p);
@@ -343,10 +341,7 @@ where
                 p.abort();
             }
             for slot in &slots {
-                let state = std::mem::replace(
-                    &mut *slot.lock().expect("prepare slot"),
-                    PrepareSlot::Abandoned,
-                );
+                let state = std::mem::replace(&mut *slot.lock(), PrepareSlot::Abandoned);
                 if let PrepareSlot::Delivered(Ok(p)) = state {
                     p.abort();
                 }

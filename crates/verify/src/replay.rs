@@ -11,8 +11,8 @@
 use crate::History;
 use mvtl_common::ops::{Op, Workload};
 use mvtl_common::{AbortReason, Engine, EngineExt, ProcessId, Transaction, TxError, TxOutcome};
+use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 /// The result of replaying a workload.
 #[derive(Debug, Clone)]
@@ -143,7 +143,7 @@ pub fn replay_concurrent<V, F>(
 where
     F: Fn(usize, usize, &mut Transaction<'_, V>) -> Result<(), TxError> + Sync,
 {
-    let history = Mutex::new(History::new());
+    let history = Mutex::named("verify.history", 95, History::new());
     std::thread::scope(|scope| {
         for thread in 0..threads {
             let history = &history;
@@ -154,7 +154,7 @@ where
                     match body(thread, iter, &mut txn) {
                         Ok(()) => {
                             if let Ok(info) = txn.commit() {
-                                history.lock().expect("history lock").record(info);
+                                history.lock().record(info);
                             }
                         }
                         Err(_) => {
@@ -167,7 +167,7 @@ where
             });
         }
     });
-    history.into_inner().expect("history lock")
+    history.into_inner()
 }
 
 fn abort_reason(err: TxError) -> AbortReason {

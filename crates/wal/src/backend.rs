@@ -110,7 +110,7 @@ where
 {
     fn begin(&self, process: ProcessId, pinned: Option<Timestamp>) -> Box<dyn ShardTxn<V>> {
         Box::new(WalShardTxn {
-            inner: Some(self.inner.begin(process, pinned)),
+            inner: self.inner.begin(process, pinned),
             wal: Arc::clone(&self.wal),
             writes: Vec::new(),
         })
@@ -158,7 +158,7 @@ where
             return Err(TxError::Internal(format!("prepare not logged: {e}")));
         }
         Ok(Box::new(WalPrepared {
-            inner: Some(prepared),
+            inner: prepared,
             wal: Arc::clone(&self.wal),
             id,
         }))
@@ -167,15 +167,9 @@ where
 
 /// [`ShardTxn`] decorator: captures the write set and logs the outcome.
 struct WalShardTxn<V> {
-    inner: Option<Box<dyn ShardTxn<V>>>,
+    inner: Box<dyn ShardTxn<V>>,
     wal: Arc<Wal>,
     writes: Vec<(Key, V)>,
-}
-
-impl<V> WalShardTxn<V> {
-    fn inner_mut(&mut self) -> &mut Box<dyn ShardTxn<V>> {
-        self.inner.as_mut().expect("wal txn present until finished")
-    }
 }
 
 impl<V> ShardTxn<V> for WalShardTxn<V>
@@ -183,76 +177,73 @@ where
     V: WalValue + Clone + Send + Sync + 'static,
 {
     fn read(&mut self, key: Key) -> Result<Option<V>, TxError> {
-        self.inner_mut().read(key)
+        self.inner.read(key)
     }
 
     fn write(&mut self, key: Key, value: V) -> Result<(), TxError> {
-        self.inner_mut().write(key, value.clone())?;
+        self.inner.write(key, value.clone())?;
         buffer_write(&mut self.writes, key, value);
         Ok(())
     }
 
     fn read_many(&mut self, keys: &[Key]) -> Result<Vec<Option<V>>, TxError> {
-        self.inner_mut().read_many(keys)
+        self.inner.read_many(keys)
     }
 
     fn write_many(&mut self, entries: Vec<(Key, V)>) -> Result<(), TxError> {
-        self.inner_mut().write_many(entries.clone())?;
+        self.inner.write_many(entries.clone())?;
         for (key, value) in entries {
             buffer_write(&mut self.writes, key, value);
         }
         Ok(())
     }
 
-    fn commit(mut self: Box<Self>) -> Result<CommitInfo, TxError> {
-        let inner = self.inner.take().expect("wal txn present until finished");
+    fn commit(self: Box<Self>) -> Result<CommitInfo, TxError> {
+        let WalShardTxn { inner, wal, writes } = *self;
         let info = inner.commit()?;
-        if !self.writes.is_empty() {
-            self.wal
-                .append(&WalRecord::Commit {
-                    id: self.wal.fresh_id(),
-                    commit_ts: info.commit_ts,
-                    writes: std::mem::take(&mut self.writes),
-                })
-                .map_err(|e| TxError::Internal(format!("commit applied but not logged: {e}")))?;
+        if !writes.is_empty() {
+            wal.append(&WalRecord::Commit {
+                id: wal.fresh_id(),
+                commit_ts: info.commit_ts,
+                writes,
+            })
+            .map_err(|e| TxError::Internal(format!("commit applied but not logged: {e}")))?;
         }
         Ok(info)
     }
 
-    fn prepare(mut self: Box<Self>) -> Result<Box<dyn PreparedShardTxn<V>>, TxError> {
-        let inner = self.inner.take().expect("wal txn present until finished");
+    fn prepare(self: Box<Self>) -> Result<Box<dyn PreparedShardTxn<V>>, TxError> {
+        let WalShardTxn { inner, wal, writes } = *self;
         let prepared = inner.prepare()?;
-        let id = self.wal.fresh_id();
+        let id = wal.fresh_id();
         // The promise must be durable before the coordinator hears it: a
         // shard that answers "prepared" and then forgets would let the
         // coordinator commit a transaction some participant lost.
-        if let Err(e) = self.wal.append(&WalRecord::Prepare {
+        if let Err(e) = wal.append(&WalRecord::Prepare {
             id,
             interval: prepared.interval().clone(),
-            writes: std::mem::take(&mut self.writes),
+            writes,
         }) {
             prepared.abort();
             return Err(TxError::Internal(format!("prepare not logged: {e}")));
         }
         Ok(Box::new(WalPrepared {
-            inner: Some(prepared),
-            wal: Arc::clone(&self.wal),
+            inner: prepared,
+            wal,
             id,
         }))
     }
 
-    fn abort(mut self: Box<Self>) {
+    fn abort(self: Box<Self>) {
         // Nothing to log: absent from the log means aborted.
-        if let Some(inner) = self.inner.take() {
-            inner.abort();
-        }
+        self.inner.abort();
     }
 }
 
 /// [`PreparedShardTxn`] decorator: the decision is durable before it takes
 /// effect.
 struct WalPrepared<V> {
-    inner: Option<Box<dyn PreparedShardTxn<V>>>,
+    inner: Box<dyn PreparedShardTxn<V>>,
     wal: Arc<Wal>,
     id: u64,
 }
@@ -262,17 +253,11 @@ where
     V: WalValue + Clone + Send + Sync + 'static,
 {
     fn interval(&self) -> &TsSet {
-        self.inner
-            .as_ref()
-            .expect("wal prepared present until decided")
-            .interval()
+        self.inner.interval()
     }
 
-    fn commit_at(mut self: Box<Self>, ts: Timestamp) -> Result<CommitInfo, TxError> {
-        let inner = self
-            .inner
-            .take()
-            .expect("wal prepared present until decided");
+    fn commit_at(self: Box<Self>, ts: Timestamp) -> Result<CommitInfo, TxError> {
+        let WalPrepared { inner, wal, id } = *self;
         if !inner.interval().contains(ts) {
             // A coordinator bug: let the inner shard produce its abort-and-
             // error path, and log nothing — presumed abort covers it.
@@ -281,25 +266,22 @@ where
         // Decision before effect: once the commit record is durable the
         // outcome cannot flip, even if the crash lands between here and the
         // install (recovery replays prepare + decision as a commit).
-        self.wal
-            .append::<V>(&WalRecord::Decision {
-                id: self.id,
-                outcome: Some(ts),
-            })
-            .map_err(|e| TxError::Internal(format!("commit decision not logged: {e}")))?;
+        wal.append::<V>(&WalRecord::Decision {
+            id,
+            outcome: Some(ts),
+        })
+        .map_err(|e| TxError::Internal(format!("commit decision not logged: {e}")))?;
         inner.commit_at(ts)
     }
 
-    fn abort(mut self: Box<Self>) {
+    fn abort(self: Box<Self>) {
         // Best effort: a logged abort lets recovery skip re-preparing, but a
         // missing one is still an abort (presumed abort).
         let _ = self.wal.append::<V>(&WalRecord::Decision {
             id: self.id,
             outcome: None,
         });
-        if let Some(inner) = self.inner.take() {
-            inner.abort();
-        }
+        self.inner.abort();
     }
 }
 

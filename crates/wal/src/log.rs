@@ -23,11 +23,12 @@
 
 use crate::record::{decode_frame, WalRecord, WalValue, MAX_PAYLOAD, SEGMENT_HEADER};
 use mvtl_common::{Key, TempDir, Timestamp, TsSet};
+use parking_lot::{Condvar, Mutex};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// When the durability layer acknowledges an append.
@@ -331,9 +332,9 @@ impl Shared {
     /// batches in the order they were taken — log order always matches
     /// append order.
     fn flush_once(&self) -> bool {
-        let mut segments = self.segments.lock().expect("wal segment mutex poisoned");
+        let mut segments = self.segments.lock();
         let (frames, last_seq) = {
-            let mut flush = self.flush.lock().expect("wal flush mutex poisoned");
+            let mut flush = self.flush.lock();
             if flush.pending.is_empty() {
                 return false;
             }
@@ -347,7 +348,7 @@ impl Shared {
             }
         });
         drop(segments);
-        let mut flush = self.flush.lock().expect("wal flush mutex poisoned");
+        let mut flush = self.flush.lock();
         match result {
             Ok(()) => flush.durable_seq = flush.durable_seq.max(last_seq),
             Err(e) => {
@@ -363,7 +364,7 @@ impl Shared {
     /// Blocks until `durable_seq` covers `seq`, draining batches as needed
     /// (whichever of the flusher thread or this thread gets there first).
     fn wait_durable(&self, seq: u64) -> Result<(), WalError> {
-        let mut flush = self.flush.lock().expect("wal flush mutex poisoned");
+        let mut flush = self.flush.lock();
         loop {
             if let Some(e) = &flush.error {
                 return Err(e.clone());
@@ -375,11 +376,11 @@ impl Shared {
                 // `seq` was appended and is no longer pending, so some drain
                 // holds the batch containing it; it publishes `durable_seq`
                 // under this lock and notifies, so the wait cannot miss it.
-                flush = self.durable.wait(flush).expect("wal flush mutex poisoned");
+                self.durable.wait(&mut flush);
             } else {
                 drop(flush);
                 self.flush_once();
-                flush = self.flush.lock().expect("wal flush mutex poisoned");
+                flush = self.flush.lock();
             }
         }
     }
@@ -494,16 +495,20 @@ impl Wal {
         let start_index = last_valid.map_or(1, |(index, _)| index);
         let segments = Segments::open_at(dir, start_index, options.segment_bytes.max(64))?;
         let shared = Arc::new(Shared {
-            flush: Mutex::new(Flush {
-                pending: Vec::new(),
-                appended_seq: 0,
-                durable_seq: 0,
-                error: None,
-                shutdown: false,
-            }),
+            flush: Mutex::named(
+                "wal.flush",
+                82,
+                Flush {
+                    pending: Vec::new(),
+                    appended_seq: 0,
+                    durable_seq: 0,
+                    error: None,
+                    shutdown: false,
+                },
+            ),
             flusher_wake: Condvar::new(),
             durable: Condvar::new(),
-            segments: Mutex::new(segments),
+            segments: Mutex::named("wal.segments", 80, segments),
             fsync: options.fsync,
         });
         let flusher = {
@@ -512,12 +517,9 @@ impl Wal {
                 .name("mvtl-wal-flusher".into())
                 .spawn(move || loop {
                     {
-                        let mut flush = shared.flush.lock().expect("wal flush mutex poisoned");
+                        let mut flush = shared.flush.lock();
                         while flush.pending.is_empty() && !flush.shutdown {
-                            flush = shared
-                                .flusher_wake
-                                .wait(flush)
-                                .expect("wal flush mutex poisoned");
+                            shared.flusher_wake.wait(&mut flush);
                         }
                         if flush.pending.is_empty() && flush.shutdown {
                             return;
@@ -575,7 +577,7 @@ impl Wal {
             "record exceeds the frame cap"
         );
         let seq = {
-            let mut flush = self.shared.flush.lock().expect("wal flush mutex poisoned");
+            let mut flush = self.shared.flush.lock();
             if let Some(e) = &flush.error {
                 return Err(e.clone());
             }
@@ -608,7 +610,7 @@ impl Wal {
     /// Returns the first flush failure when the log is poisoned.
     pub fn sync(&self) -> Result<(), WalError> {
         let target = {
-            let flush = self.shared.flush.lock().expect("wal flush mutex poisoned");
+            let flush = self.shared.flush.lock();
             if let Some(e) = &flush.error {
                 return Err(e.clone());
             }
@@ -621,7 +623,7 @@ impl Wal {
 impl Drop for Wal {
     fn drop(&mut self) {
         {
-            let mut flush = self.shared.flush.lock().expect("wal flush mutex poisoned");
+            let mut flush = self.shared.flush.lock();
             flush.shutdown = true;
         }
         self.shared.flusher_wake.notify_all();
@@ -637,7 +639,7 @@ impl Drop for Wal {
 
 impl std::fmt::Debug for Wal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let flush = self.shared.flush.lock().expect("wal flush mutex poisoned");
+        let flush = self.shared.flush.lock();
         f.debug_struct("Wal")
             .field("fsync", &self.shared.fsync)
             .field("appended_seq", &flush.appended_seq)

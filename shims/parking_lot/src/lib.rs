@@ -8,22 +8,51 @@
 //!
 //! * `lock()` / `read()` / `write()` return guards directly (no `Result`);
 //!   poisoning is swallowed, as `parking_lot` has no poisoning.
+//! * `try_lock()` / `try_read()` / `try_write()` return `Option` guards and
+//!   never block.
 //! * `Condvar::wait_until` takes a `&mut MutexGuard` and an [`Instant`]
 //!   deadline and reports timeouts through [`WaitTimeoutResult`].
 //!
 //! Swap this shim for the real crate by pointing the `parking_lot` entry of
 //! `[workspace.dependencies]` back at crates.io; no source changes needed.
+//!
+//! # Lock-order analysis (`lock-order` feature)
+//!
+//! With the `lock-order` cargo feature the shim additionally instruments
+//! every acquisition for deadlock analysis — see the `lock_order` module
+//! (present only with the feature on). Locks gain
+//! [`Mutex::named`] / [`RwLock::named`] constructors attaching a *site* (a
+//! static name plus a documentation rank) so that held→acquiring order edges
+//! and actual waits-for cycles are reported with real names. With the
+//! feature **off** (the default) those constructors discard their arguments
+//! at compile time and every method is the plain zero-overhead `std::sync`
+//! wrapper below — no atomics, no thread-locals, no extra branches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+#[cfg(feature = "lock-order")]
+pub mod lock_order;
+
+#[cfg(feature = "lock-order")]
+use lock_order::SiteSpec;
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::time::Instant;
 
+/// Casts a (possibly wide) reference to its thin address, used as the lock's
+/// identity in the waits-for watchdog.
+#[cfg(feature = "lock-order")]
+fn thin_addr<T: ?Sized>(value: &T) -> usize {
+    value as *const T as *const () as usize
+}
+
 /// A mutual-exclusion primitive, API-compatible with `parking_lot::Mutex`.
 #[derive(Default)]
 pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    site: SiteSpec,
     inner: std::sync::Mutex<T>,
 }
 
@@ -31,6 +60,43 @@ impl<T> Mutex<T> {
     /// Creates a new mutex protecting `value`.
     pub const fn new(value: T) -> Self {
         Mutex {
+            #[cfg(feature = "lock-order")]
+            site: SiteSpec::ANON,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a mutex annotated with a lock-order *site*: a static `name`
+    /// (e.g. `"core.cell.data"`) and a documentation `rank` (lower ranks are
+    /// acquired first). With the `lock-order` feature off this is identical
+    /// to [`Mutex::new`] and the annotation costs nothing.
+    pub const fn named(name: &'static str, rank: u32, value: T) -> Self {
+        #[cfg(not(feature = "lock-order"))]
+        let _ = (name, rank);
+        Mutex {
+            #[cfg(feature = "lock-order")]
+            site: SiteSpec {
+                name,
+                rank,
+                group: false,
+            },
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Like [`Mutex::named`], for *group* sites: several locks of this site
+    /// may legitimately be held by one thread at once (e.g. sorted multi-key
+    /// commit latching), so same-site nesting is not reported as a violation.
+    pub const fn named_group(name: &'static str, rank: u32, value: T) -> Self {
+        #[cfg(not(feature = "lock-order"))]
+        let _ = (name, rank);
+        Mutex {
+            #[cfg(feature = "lock-order")]
+            site: SiteSpec {
+                name,
+                rank,
+                group: true,
+            },
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -42,13 +108,60 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
+    fn recover<'a>(
+        guard: Result<
+            std::sync::MutexGuard<'a, T>,
+            std::sync::TryLockError<std::sync::MutexGuard<'a, T>>,
+        >,
+    ) -> Option<std::sync::MutexGuard<'a, T>> {
+        match guard {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Acquires the mutex, blocking until it is available.
     ///
     /// Unlike `std`, poisoning is ignored: a panic while holding the lock does
     /// not prevent later acquisitions (matching `parking_lot`).
+    // The feature-gated arm must `return`; the uninstrumented arm is the tail.
+    #[allow(clippy::needless_return)]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        MutexGuard { inner: Some(guard) }
+        #[cfg(feature = "lock-order")]
+        {
+            let ctx = lock_order::AcquireCtx::new(
+                &self.site,
+                thin_addr(self),
+                lock_order::Mode::Exclusive,
+            );
+            let (inner, tracked) =
+                lock_order::acquire_blocking(ctx, || Self::recover(self.inner.try_lock()));
+            return MutexGuard {
+                tracked,
+                inner: Some(inner),
+            };
+        }
+        #[cfg(not(feature = "lock-order"))]
+        {
+            let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            MutexGuard { inner: Some(guard) }
+        }
+    }
+
+    /// Attempts to acquire the mutex without blocking; returns `None` if it
+    /// is currently held.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let inner = Self::recover(self.inner.try_lock())?;
+        Some(MutexGuard {
+            #[cfg(feature = "lock-order")]
+            tracked: lock_order::register_try_acquired(
+                &self.site,
+                thin_addr(self),
+                lock_order::Mode::Exclusive,
+            ),
+            inner: Some(inner),
+        })
     }
 
     /// Returns a mutable reference to the protected value.
@@ -69,7 +182,18 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 /// temporarily take the underlying `std` guard without `unsafe`; it is always
 /// `Some` outside of that method.
 pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    tracked: lock_order::HeldToken,
     inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+#[cfg(feature = "lock-order")]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Deregister before the std guard (dropped after this body) unlocks,
+        // so the watchdog never sees us as holder of an acquirable lock.
+        self.tracked.release();
+    }
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
@@ -94,6 +218,8 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
 /// A readers-writer lock, API-compatible with `parking_lot::RwLock`.
 #[derive(Default)]
 pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    site: SiteSpec,
     inner: std::sync::RwLock<T>,
 }
 
@@ -101,6 +227,38 @@ impl<T> RwLock<T> {
     /// Creates a new readers-writer lock protecting `value`.
     pub const fn new(value: T) -> Self {
         RwLock {
+            #[cfg(feature = "lock-order")]
+            site: SiteSpec::ANON,
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates a lock annotated with a lock-order *site*; see [`Mutex::named`].
+    pub const fn named(name: &'static str, rank: u32, value: T) -> Self {
+        #[cfg(not(feature = "lock-order"))]
+        let _ = (name, rank);
+        RwLock {
+            #[cfg(feature = "lock-order")]
+            site: SiteSpec {
+                name,
+                rank,
+                group: false,
+            },
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates a *group*-site lock; see [`Mutex::named_group`].
+    pub const fn named_group(name: &'static str, rank: u32, value: T) -> Self {
+        #[cfg(not(feature = "lock-order"))]
+        let _ = (name, rank);
+        RwLock {
+            #[cfg(feature = "lock-order")]
+            site: SiteSpec {
+                name,
+                rank,
+                group: true,
+            },
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -112,18 +270,103 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
+    fn recover_read<'a>(
+        guard: Result<
+            std::sync::RwLockReadGuard<'a, T>,
+            std::sync::TryLockError<std::sync::RwLockReadGuard<'a, T>>,
+        >,
+    ) -> Option<std::sync::RwLockReadGuard<'a, T>> {
+        match guard {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    fn recover_write<'a>(
+        guard: Result<
+            std::sync::RwLockWriteGuard<'a, T>,
+            std::sync::TryLockError<std::sync::RwLockWriteGuard<'a, T>>,
+        >,
+    ) -> Option<std::sync::RwLockWriteGuard<'a, T>> {
+        match guard {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Acquires a shared read lock, blocking until one is available.
+    // The feature-gated arm must `return`; the uninstrumented arm is the tail.
+    #[allow(clippy::needless_return)]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard {
-            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+        #[cfg(feature = "lock-order")]
+        {
+            let ctx =
+                lock_order::AcquireCtx::new(&self.site, thin_addr(self), lock_order::Mode::Shared);
+            let (inner, tracked) =
+                lock_order::acquire_blocking(ctx, || Self::recover_read(self.inner.try_read()));
+            return RwLockReadGuard { tracked, inner };
+        }
+        #[cfg(not(feature = "lock-order"))]
+        {
+            RwLockReadGuard {
+                inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+            }
         }
     }
 
     /// Acquires the exclusive write lock, blocking until it is available.
+    // The feature-gated arm must `return`; the uninstrumented arm is the tail.
+    #[allow(clippy::needless_return)]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard {
-            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+        #[cfg(feature = "lock-order")]
+        {
+            let ctx = lock_order::AcquireCtx::new(
+                &self.site,
+                thin_addr(self),
+                lock_order::Mode::Exclusive,
+            );
+            let (inner, tracked) =
+                lock_order::acquire_blocking(ctx, || Self::recover_write(self.inner.try_write()));
+            return RwLockWriteGuard { tracked, inner };
         }
+        #[cfg(not(feature = "lock-order"))]
+        {
+            RwLockWriteGuard {
+                inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+            }
+        }
+    }
+
+    /// Attempts to acquire a shared read lock without blocking; returns
+    /// `None` if a writer holds (or `std` reports contention on) the lock.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let inner = Self::recover_read(self.inner.try_read())?;
+        Some(RwLockReadGuard {
+            #[cfg(feature = "lock-order")]
+            tracked: lock_order::register_try_acquired(
+                &self.site,
+                thin_addr(self),
+                lock_order::Mode::Shared,
+            ),
+            inner,
+        })
+    }
+
+    /// Attempts to acquire the exclusive write lock without blocking;
+    /// returns `None` if any reader or writer holds the lock.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        let inner = Self::recover_write(self.inner.try_write())?;
+        Some(RwLockWriteGuard {
+            #[cfg(feature = "lock-order")]
+            tracked: lock_order::register_try_acquired(
+                &self.site,
+                thin_addr(self),
+                lock_order::Mode::Exclusive,
+            ),
+            inner,
+        })
     }
 
     /// Returns a mutable reference to the protected value.
@@ -140,7 +383,16 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
 
 /// RAII guard returned by [`RwLock::read`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    tracked: lock_order::HeldToken,
     inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+#[cfg(feature = "lock-order")]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.tracked.release();
+    }
 }
 
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
@@ -152,7 +404,16 @@ impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
 
 /// RAII guard returned by [`RwLock::write`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "lock-order")]
+    tracked: lock_order::HeldToken,
     inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+#[cfg(feature = "lock-order")]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.tracked.release();
+    }
 }
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
@@ -209,9 +470,15 @@ impl Condvar {
     /// Blocks the current thread until notified, releasing `guard` while
     /// waiting and re-acquiring it before returning.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // The mutex is released for the duration of the wait: suspend its
+        // hold registration so the analyzers do not see a phantom holder.
+        #[cfg(feature = "lock-order")]
+        guard.tracked.suspend();
         let inner = guard.inner.take().expect("guard present");
         let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(inner);
+        #[cfg(feature = "lock-order")]
+        guard.tracked.resume();
     }
 
     /// Blocks the current thread until notified or until `deadline`, releasing
@@ -221,6 +488,8 @@ impl Condvar {
         guard: &mut MutexGuard<'_, T>,
         deadline: Instant,
     ) -> WaitTimeoutResult {
+        #[cfg(feature = "lock-order")]
+        guard.tracked.suspend();
         let inner = guard.inner.take().expect("guard present");
         let timeout = deadline.saturating_duration_since(Instant::now());
         let (inner, result) = self
@@ -228,6 +497,8 @@ impl Condvar {
             .wait_timeout(inner, timeout)
             .unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(inner);
+        #[cfg(feature = "lock-order")]
+        guard.tracked.resume();
         WaitTimeoutResult {
             timed_out: result.timed_out(),
         }
@@ -260,6 +531,56 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn named_constructors_behave_like_new() {
+        let m = Mutex::named("shim.test.mutex", 1, 7);
+        assert_eq!(*m.lock(), 7);
+        let g = Mutex::named_group("shim.test.mutex_group", 2, 8);
+        assert_eq!(*g.lock(), 8);
+        let l = RwLock::named("shim.test.rwlock", 3, 9);
+        assert_eq!(*l.read(), 9);
+        *l.write() = 10;
+        assert_eq!(*l.read(), 10);
+    }
+
+    #[test]
+    fn try_lock_contended_returns_none() {
+        let m = Mutex::new(5);
+        let held = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(held);
+        let g = m.try_lock().expect("uncontended try_lock succeeds");
+        assert_eq!(*g, 5);
+    }
+
+    #[test]
+    fn try_read_and_try_write_follow_rw_semantics() {
+        let l = RwLock::new(1);
+        {
+            let _r = l.read();
+            // Readers share; writers are excluded.
+            assert!(l.try_read().is_some());
+            assert!(l.try_write().is_none());
+        }
+        {
+            let _w = l.write();
+            assert!(l.try_read().is_none());
+            assert!(l.try_write().is_none());
+        }
+        *l.try_write().expect("uncontended try_write succeeds") = 2;
+        assert_eq!(*l.try_read().expect("uncontended try_read succeeds"), 2);
+    }
+
+    #[test]
+    fn try_lock_guard_releases_on_drop() {
+        let m = Mutex::new(0);
+        {
+            let mut g = m.try_lock().expect("first try_lock");
+            *g += 1;
+        }
+        assert_eq!(*m.try_lock().expect("second try_lock"), 1);
     }
 
     #[test]

@@ -1,0 +1,706 @@
+//! Lock-order and deadlock analysis for the shim's `Mutex`/`RwLock`.
+//!
+//! Compiled only with the `lock-order` cargo feature. Two complementary
+//! detectors share the instrumentation hooks the shim calls on every
+//! acquisition and release:
+//!
+//! 1. **Static order graph (lockdep-style).** Every lock can carry a *site*
+//!    — a `&'static str` name plus a documentation rank — via
+//!    [`Mutex::named`](crate::Mutex::named) /
+//!    [`RwLock::named`](crate::RwLock::named). A thread-local held-lock stack
+//!    records a `held → acquiring` edge between sites for every *blocking*
+//!    acquisition (`try_*` never blocks, so it contributes holds but no
+//!    incoming edges). Each newly observed edge runs a DFS cycle check over
+//!    the global site graph; a cycle means two code paths acquire the same
+//!    sites in opposite orders — a *potential* deadlock — and is reported
+//!    with every site on the cycle named. Sites created with
+//!    [`Mutex::named_group`](crate::Mutex::named_group) may legitimately hold
+//!    several same-site locks at once (e.g. sorted multi-key commit
+//!    latching); self-edges on group sites are expected and ignored, while a
+//!    self-edge on a non-group site is reported as a violation.
+//!
+//! 2. **Waits-for watchdog.** Blocking acquisitions spin on `try_*` and
+//!    register the *address* they are waiting for; acquired locks register
+//!    their holders. When a thread has been blocked longer than
+//!    `MVTL_LOCK_WATCHDOG_MS` (default 250 ms) it walks the waits-for graph
+//!    — thread → awaited address → holding threads — and panics with the
+//!    full cycle if it is *actually* deadlocked, instead of hanging CI. The
+//!    watchdog is address-exact: distinct locks of one site never alias, and
+//!    a shared-mode waiter is only blocked by exclusive holders, so read-read
+//!    contention can never fabricate a cycle.
+//!
+//! Detection is per-process: the graph and registries are global statics.
+//! Tests that *deliberately* provoke violations must therefore live in their
+//! own test binary so they do not pollute the graph asserted acyclic by the
+//! integration suite. One blind spot is documented here rather than papered
+//! over: a thread re-acquiring a mutex inside `Condvar::wait` blocks inside
+//! `std`, where the watchdog cannot see it; its holds are deregistered for
+//! the duration of the wait, so it can never fabricate a cycle either.
+//!
+//! The tracker's own internals use raw `std::sync` primitives — the one
+//! place in the workspace allowed to (enforced by `mvtl-lint`'s shim
+//! exemption) — so instrumentation can never recurse into itself.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex as StdMutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Compile-time site description attached to a `Mutex`/`RwLock` by the
+/// `named`/`named_group` constructors. Anonymous locks carry an empty name
+/// and take part only in the address-exact watchdog, never the site graph.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SiteSpec {
+    pub(crate) name: &'static str,
+    pub(crate) rank: u32,
+    pub(crate) group: bool,
+}
+
+impl SiteSpec {
+    pub(crate) const ANON: SiteSpec = SiteSpec {
+        name: "",
+        rank: u32::MAX,
+        group: false,
+    };
+}
+
+impl Default for SiteSpec {
+    fn default() -> Self {
+        SiteSpec::ANON
+    }
+}
+
+/// Acquisition mode, mirroring the primitive being acquired.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Mode {
+    /// `RwLock::read` — blocked only by exclusive holders.
+    Shared,
+    /// `Mutex::lock` / `RwLock::write` — blocked by any holder.
+    Exclusive,
+}
+
+/// What to do when the site graph detects a potential-deadlock cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OnCycle {
+    /// Panic at the acquisition that closed the cycle (the default).
+    Panic,
+    /// Record the violation for later retrieval via [`recorded_violations`];
+    /// used by tests that deliberately provoke inversions.
+    Record,
+}
+
+const ON_CYCLE_PANIC: u8 = 0;
+const ON_CYCLE_RECORD: u8 = 1;
+
+/// A named site registered in the global graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiteInfo {
+    /// The site name, e.g. `"core.cell.data"`.
+    pub name: &'static str,
+    /// Documentation rank (lower acquires first); checked against observed
+    /// edges by [`assert_acyclic`].
+    pub rank: u32,
+    /// Whether several locks of this site may be held at once.
+    pub group: bool,
+}
+
+struct Graph {
+    ids: HashMap<&'static str, u32>,
+    sites: Vec<SiteInfo>,
+    edges: HashSet<(u32, u32)>,
+    adj: HashMap<u32, Vec<u32>>,
+    violations: Vec<String>,
+}
+
+#[derive(Clone, Copy)]
+struct Holder {
+    tid: u64,
+    mode: Mode,
+}
+
+#[derive(Clone, Copy)]
+struct Wait {
+    addr: usize,
+    mode: Mode,
+    site_name: &'static str,
+}
+
+#[derive(Default)]
+struct WaitTable {
+    /// Lock address → current holders (several in shared mode).
+    holders: HashMap<usize, Vec<Holder>>,
+    /// Thread id → the address it is blocked acquiring.
+    waiting: HashMap<u64, Wait>,
+}
+
+struct Global {
+    graph: StdMutex<Graph>,
+    waits: StdMutex<WaitTable>,
+    on_cycle: AtomicU8,
+}
+
+fn global() -> &'static Global {
+    static GLOBAL: OnceLock<Global> = OnceLock::new();
+    GLOBAL.get_or_init(|| Global {
+        graph: StdMutex::new(Graph {
+            ids: HashMap::new(),
+            sites: Vec::new(),
+            edges: HashSet::new(),
+            adj: HashMap::new(),
+            violations: Vec::new(),
+        }),
+        waits: StdMutex::new(WaitTable::default()),
+        on_cycle: AtomicU8::new(ON_CYCLE_PANIC),
+    })
+}
+
+/// A panic with a lock held poisons the tracker's internal std mutexes;
+/// recover unconditionally so one reported violation does not cascade.
+fn lock_graph() -> std::sync::MutexGuard<'static, Graph> {
+    global().graph.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lock_waits() -> std::sync::MutexGuard<'static, WaitTable> {
+    global().waits.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    /// Stack of locks this thread currently holds: (site id if named, addr).
+    static HELD: RefCell<Vec<(Option<u32>, usize)>> = const { RefCell::new(Vec::new()) };
+    /// Site-graph edges this thread has already pushed globally; skipping
+    /// re-insertion keeps steady-state acquisitions off the global mutex.
+    static EDGE_CACHE: RefCell<HashSet<(u32, u32)>> = RefCell::new(HashSet::new());
+    /// Interned site ids, cached per thread.
+    static SITE_CACHE: RefCell<HashMap<&'static str, u32>> = RefCell::new(HashMap::new());
+    static TID: u64 = {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+fn watchdog_threshold() -> Duration {
+    static THRESHOLD: OnceLock<Duration> = OnceLock::new();
+    *THRESHOLD.get_or_init(|| {
+        let ms = std::env::var("MVTL_LOCK_WATCHDOG_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(250);
+        Duration::from_millis(ms.max(1))
+    })
+}
+
+/// Selects how site-graph cycles are reported process-wide.
+pub fn set_on_cycle(mode: OnCycle) {
+    let raw = match mode {
+        OnCycle::Panic => ON_CYCLE_PANIC,
+        OnCycle::Record => ON_CYCLE_RECORD,
+    };
+    global().on_cycle.store(raw, Ordering::SeqCst);
+}
+
+/// Violations recorded while the [`OnCycle::Record`] policy was active.
+pub fn recorded_violations() -> Vec<String> {
+    lock_graph().violations.clone()
+}
+
+fn intern(name: &'static str, rank: u32, group: bool) -> u32 {
+    let cached = SITE_CACHE.with(|c| c.borrow().get(name).copied());
+    if let Some(id) = cached {
+        return id;
+    }
+    let mut graph = lock_graph();
+    let id = match graph.ids.get(name) {
+        Some(&id) => id,
+        None => {
+            let id = graph.sites.len() as u32;
+            graph.ids.insert(name, id);
+            graph.sites.push(SiteInfo { name, rank, group });
+            id
+        }
+    };
+    drop(graph);
+    SITE_CACHE.with(|c| {
+        c.borrow_mut().insert(name, id);
+    });
+    id
+}
+
+/// Everything `acquire_blocking`/`register_try_acquired` need about one
+/// acquisition attempt, computed before touching the real primitive.
+pub(crate) struct AcquireCtx {
+    site: Option<u32>,
+    site_name: &'static str,
+    addr: usize,
+    mode: Mode,
+}
+
+impl AcquireCtx {
+    pub(crate) fn new(spec: &SiteSpec, addr: usize, mode: Mode) -> AcquireCtx {
+        let site = if spec.name.is_empty() {
+            None
+        } else {
+            Some(intern(spec.name, spec.rank, spec.group))
+        };
+        AcquireCtx {
+            site,
+            site_name: spec.name,
+            addr,
+            mode,
+        }
+    }
+}
+
+/// Records `held → acquiring` edges for a blocking acquisition and runs the
+/// cycle check on any edge not seen before. Panics (or records, per
+/// [`set_on_cycle`]) when the new edge closes a cycle.
+fn record_edges(ctx: &AcquireCtx) {
+    let Some(to) = ctx.site else { return };
+    let held: Vec<u32> = HELD.with(|h| h.borrow().iter().filter_map(|&(site, _)| site).collect());
+    for from in held {
+        let fresh = EDGE_CACHE.with(|c| c.borrow_mut().insert((from, to)));
+        if !fresh {
+            continue;
+        }
+        let mut graph = lock_graph();
+        if !graph.edges.insert((from, to)) {
+            continue; // another thread already recorded and checked it
+        }
+        graph.adj.entry(from).or_default().push(to);
+        let violation = if from == to {
+            if graph.sites[to as usize].group {
+                None
+            } else {
+                Some(format!(
+                    "lock-order violation: site `{}` acquired while already held by the same \
+                     thread; declare it with `named_group` if same-site nesting is intended",
+                    graph.sites[to as usize].name
+                ))
+            }
+        } else {
+            path(&graph, to, from).map(|cycle_path| {
+                let names: Vec<&str> = cycle_path
+                    .iter()
+                    .chain(std::iter::once(&to))
+                    .map(|&id| graph.sites[id as usize].name)
+                    .collect();
+                format!(
+                    "lock-order cycle: acquiring `{}` while holding `{}` closes the cycle {}",
+                    graph.sites[to as usize].name,
+                    graph.sites[from as usize].name,
+                    names.join(" -> "),
+                )
+            })
+        };
+        if let Some(msg) = violation {
+            if global().on_cycle.load(Ordering::SeqCst) == ON_CYCLE_RECORD {
+                graph.violations.push(msg);
+            } else {
+                drop(graph);
+                panic!("{msg}");
+            }
+        }
+    }
+}
+
+/// DFS path from `start` to `goal` over the site graph, if one exists.
+fn path(graph: &Graph, start: u32, goal: u32) -> Option<Vec<u32>> {
+    let mut stack = vec![(start, 0usize)];
+    let mut on_path = vec![start];
+    let mut visited = HashSet::new();
+    visited.insert(start);
+    if start == goal {
+        return Some(on_path);
+    }
+    while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+        let succs = graph.adj.get(&node).map(Vec::as_slice).unwrap_or(&[]);
+        if *next >= succs.len() {
+            stack.pop();
+            on_path.pop();
+            continue;
+        }
+        let succ = succs[*next];
+        *next += 1;
+        if succ == goal {
+            on_path.push(succ);
+            return Some(on_path);
+        }
+        if visited.insert(succ) {
+            stack.push((succ, 0));
+            on_path.push(succ);
+        }
+    }
+    None
+}
+
+/// Registered in the wait table for the duration of a blocked acquisition;
+/// removal on drop keeps the table accurate even when a cycle check panics.
+struct WaitRegistration {
+    tid: u64,
+}
+
+impl Drop for WaitRegistration {
+    fn drop(&mut self) {
+        lock_waits().waiting.remove(&self.tid);
+    }
+}
+
+/// Bookkeeping handle owned by a lock guard while the lock is held.
+#[derive(Debug)]
+pub(crate) struct HeldToken {
+    site: Option<u32>,
+    site_name: &'static str,
+    addr: usize,
+    mode: Mode,
+    active: bool,
+}
+
+impl HeldToken {
+    fn register(ctx: &AcquireCtx) -> HeldToken {
+        let tid = current_tid();
+        HELD.with(|h| h.borrow_mut().push((ctx.site, ctx.addr)));
+        lock_waits()
+            .holders
+            .entry(ctx.addr)
+            .or_default()
+            .push(Holder {
+                tid,
+                mode: ctx.mode,
+            });
+        HeldToken {
+            site: ctx.site,
+            site_name: ctx.site_name,
+            addr: ctx.addr,
+            mode: ctx.mode,
+            active: true,
+        }
+    }
+
+    /// Deregisters this hold. Called by guard `Drop` *before* the underlying
+    /// primitive unlocks, so the watchdog never sees a lock as held-by-us
+    /// after another thread could have acquired it.
+    pub(crate) fn release(&mut self) {
+        if !self.active {
+            return;
+        }
+        self.active = false;
+        let tid = current_tid();
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&(_, addr)| addr == self.addr) {
+                held.remove(pos);
+            }
+        });
+        let mut waits = lock_waits();
+        if let Some(holders) = waits.holders.get_mut(&self.addr) {
+            if let Some(pos) = holders.iter().rposition(|h| h.tid == tid) {
+                holders.remove(pos);
+            }
+            if holders.is_empty() {
+                waits.holders.remove(&self.addr);
+            }
+        }
+    }
+
+    /// Temporarily deregisters the hold while a `Condvar` wait releases the
+    /// underlying mutex.
+    pub(crate) fn suspend(&mut self) {
+        self.release();
+    }
+
+    /// Re-registers the hold after a `Condvar` wait re-acquired the mutex.
+    /// No edge is recorded: the original blocking acquisition already did.
+    pub(crate) fn resume(&mut self) {
+        if self.active {
+            return;
+        }
+        let ctx = AcquireCtx {
+            site: self.site,
+            site_name: self.site_name,
+            addr: self.addr,
+            mode: self.mode,
+        };
+        *self = HeldToken::register(&ctx);
+    }
+}
+
+/// A successful non-blocking acquisition: registers the hold without
+/// recording order edges (a `try_*` that fails simply returns `None`, so it
+/// can never participate in a deadlock as the acquiring side).
+pub(crate) fn register_try_acquired(spec: &SiteSpec, addr: usize, mode: Mode) -> HeldToken {
+    let ctx = AcquireCtx::new(spec, addr, mode);
+    HeldToken::register(&ctx)
+}
+
+/// Drives a blocking acquisition through `try_fn`, recording order edges up
+/// front and arming the waits-for watchdog while blocked.
+pub(crate) fn acquire_blocking<G>(
+    ctx: AcquireCtx,
+    mut try_fn: impl FnMut() -> Option<G>,
+) -> (G, HeldToken) {
+    record_edges(&ctx);
+    if let Some(guard) = try_fn() {
+        return (guard, HeldToken::register(&ctx));
+    }
+    let tid = current_tid();
+    lock_waits().waiting.insert(
+        tid,
+        Wait {
+            addr: ctx.addr,
+            mode: ctx.mode,
+            site_name: ctx.site_name,
+        },
+    );
+    let registration = WaitRegistration { tid };
+    let threshold = watchdog_threshold();
+    let mut next_check = Instant::now() + threshold;
+    loop {
+        if let Some(guard) = try_fn() {
+            drop(registration);
+            return (guard, HeldToken::register(&ctx));
+        }
+        std::thread::sleep(Duration::from_micros(100));
+        if Instant::now() >= next_check {
+            check_deadlock(tid);
+            next_check = Instant::now() + threshold;
+        }
+    }
+}
+
+/// Walks the waits-for graph from `start`; panics naming the full cycle if
+/// `start` is transitively blocked on a cycle of blocked threads.
+fn check_deadlock(start: u64) {
+    let waits = lock_waits();
+    // DFS over threads; edge t -> u when t waits on an address u holds in a
+    // blocking mode. Only waiting threads are expanded: a running holder will
+    // eventually release, so it can never be part of a deadlock cycle.
+    let mut stack: Vec<(u64, Vec<u64>)> = Vec::new();
+    let mut path: Vec<u64> = vec![start];
+    let mut visited: HashSet<u64> = HashSet::new();
+    visited.insert(start);
+    stack.push((start, blockers(&waits, start)));
+    while let Some((_, succs)) = stack.last_mut() {
+        let Some(next) = succs.pop() else {
+            stack.pop();
+            path.pop();
+            continue;
+        };
+        if let Some(pos) = path.iter().position(|&t| t == next) {
+            let cycle: Vec<u64> = path[pos..].to_vec();
+            let msg = describe_cycle(&waits, &cycle);
+            drop(waits);
+            panic!("{msg}");
+        }
+        if visited.insert(next) {
+            path.push(next);
+            let next_succs = blockers(&waits, next);
+            stack.push((next, next_succs));
+        }
+    }
+}
+
+/// Threads blocking `tid`'s current wait (empty when `tid` is not waiting).
+/// Shared-mode waits are blocked only by exclusive holders; exclusive-mode
+/// waits by every holder. Only holders that are themselves waiting are
+/// returned — see `check_deadlock`.
+fn blockers(waits: &WaitTable, tid: u64) -> Vec<u64> {
+    let Some(wait) = waits.waiting.get(&tid) else {
+        return Vec::new();
+    };
+    let Some(holders) = waits.holders.get(&wait.addr) else {
+        return Vec::new();
+    };
+    holders
+        .iter()
+        .filter(|h| h.tid != tid)
+        .filter(|h| wait.mode == Mode::Exclusive || h.mode == Mode::Exclusive)
+        .filter(|h| waits.waiting.contains_key(&h.tid))
+        .map(|h| h.tid)
+        .collect()
+}
+
+fn describe_cycle(waits: &WaitTable, cycle: &[u64]) -> String {
+    let mut msg = String::from("deadlock detected (waits-for cycle): ");
+    for (i, &tid) in cycle.iter().enumerate() {
+        let wait = &waits.waiting[&tid];
+        let site = if wait.site_name.is_empty() {
+            "<anonymous>"
+        } else {
+            wait.site_name
+        };
+        let next = cycle[(i + 1) % cycle.len()];
+        if i > 0 {
+            msg.push_str("; ");
+        }
+        let _ = write!(
+            msg,
+            "thread {tid} waits for `{site}` ({:#x}) held by thread {next}",
+            wait.addr
+        );
+    }
+    msg
+}
+
+/// Snapshot of every named site registered so far.
+pub fn sites() -> Vec<SiteInfo> {
+    lock_graph().sites.clone()
+}
+
+/// Snapshot of the observed `held → acquiring` edges, as site-name pairs.
+pub fn edges() -> Vec<(&'static str, &'static str)> {
+    let graph = lock_graph();
+    let mut out: Vec<_> = graph
+        .edges
+        .iter()
+        .map(|&(a, b)| (graph.sites[a as usize].name, graph.sites[b as usize].name))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Every cycle in the recorded site graph, as lists of site names. Group-site
+/// self-edges are not cycles; any other strongly connected component with a
+/// cycle is returned once.
+pub fn cycles() -> Vec<Vec<&'static str>> {
+    let graph = lock_graph();
+    let mut out = Vec::new();
+    for scc in sccs(&graph) {
+        if scc.len() > 1 {
+            out.push(
+                scc.iter()
+                    .map(|&id| graph.sites[id as usize].name)
+                    .collect(),
+            );
+        } else {
+            let id = scc[0];
+            if graph.edges.contains(&(id, id)) && !graph.sites[id as usize].group {
+                out.push(vec![graph.sites[id as usize].name]);
+            }
+        }
+    }
+    out
+}
+
+/// Iterative Tarjan strongly-connected components over the site graph.
+fn sccs(graph: &Graph) -> Vec<Vec<u32>> {
+    let n = graph.sites.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != usize::MAX {
+            continue;
+        }
+        // (node, iterator position into adj)
+        let mut call: Vec<(u32, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            if *pos == 0 {
+                index[v as usize] = next_index;
+                low[v as usize] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v as usize] = true;
+            }
+            let succs = graph.adj.get(&v).map(Vec::as_slice).unwrap_or(&[]);
+            if *pos < succs.len() {
+                let w = succs[*pos];
+                *pos += 1;
+                if index[w as usize] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w as usize] {
+                    low[v as usize] = low[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call.pop();
+                if let Some(&mut (parent, _)) = call.last_mut() {
+                    low[parent as usize] = low[parent as usize].min(low[v as usize]);
+                }
+                if low[v as usize] == index[v as usize] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(scc);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Edges that run *against* the documented ranks (an edge must go from a
+/// lower rank to a higher one). Group-site self-edges are exempt.
+pub fn rank_inversions() -> Vec<String> {
+    let graph = lock_graph();
+    let mut out = Vec::new();
+    for &(a, b) in &graph.edges {
+        if a == b {
+            continue;
+        }
+        let (sa, sb) = (graph.sites[a as usize], graph.sites[b as usize]);
+        if sa.rank >= sb.rank {
+            out.push(format!(
+                "rank inversion: observed edge `{}` (rank {}) -> `{}` (rank {})",
+                sa.name, sa.rank, sb.name, sb.rank
+            ));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Panics unless the recorded site graph is acyclic, no violation was
+/// recorded, and every observed edge respects the documented ranks.
+pub fn assert_acyclic() {
+    let mut problems: Vec<String> = Vec::new();
+    for cycle in cycles() {
+        problems.push(format!("cycle: {}", cycle.join(" -> ")));
+    }
+    problems.extend(recorded_violations());
+    problems.extend(rank_inversions());
+    assert!(
+        problems.is_empty(),
+        "lock-order graph is not clean:\n  {}",
+        problems.join("\n  ")
+    );
+}
+
+/// Graphviz DOT rendering of the site graph (nodes labelled with ranks).
+pub fn dot() -> String {
+    let graph = lock_graph();
+    let mut out = String::from("digraph lock_order {\n  rankdir=LR;\n  node [shape=box];\n");
+    let mut sites: Vec<&SiteInfo> = graph.sites.iter().collect();
+    sites.sort_by_key(|s| s.rank);
+    for site in sites {
+        let group = if site.group { "\\ngroup" } else { "" };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [label=\"{}\\nrank {}{}\"];",
+            site.name, site.name, site.rank, group
+        );
+    }
+    let mut edges: Vec<_> = graph.edges.iter().collect();
+    edges.sort_unstable();
+    for &(a, b) in edges {
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\";",
+            graph.sites[a as usize].name, graph.sites[b as usize].name
+        );
+    }
+    out.push_str("}\n");
+    out
+}

@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use mvtl_analysis as analysis;
 pub use mvtl_baselines as baselines;
 pub use mvtl_clock as clock;
 pub use mvtl_common as common;
