@@ -1,0 +1,27 @@
+// Fixture: rule `hot-path`. Growable-collection mutation in a file carrying
+// the hot-path marker must be flagged; test code, strings/comments and
+// unmarked or exempt files must not.
+// lint: hot-path
+
+pub fn grows(out: &mut Vec<u64>) {
+    out.push(7); // line 7: flagged
+}
+
+pub fn maps(map: &mut std::collections::HashMap<u64, u64>) {
+    map.insert(1, 2); // line 11: flagged
+}
+
+pub fn in_string() -> &'static str {
+    // Must NOT be flagged: the pattern below is inside a string literal,
+    // and this comment mentioning .push( and .insert( must not count either.
+    ".push( and .insert("
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may use growable collections freely.
+    fn builds_a_vec() {
+        let mut v = Vec::new();
+        v.push(1u8);
+    }
+}

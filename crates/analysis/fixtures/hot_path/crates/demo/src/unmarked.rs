@@ -1,0 +1,5 @@
+// Decoy: no hot-path marker, so growable-collection mutation is fine here.
+
+pub fn grows(out: &mut Vec<u64>) {
+    out.push(7);
+}

@@ -1,0 +1,7 @@
+// Decoy: marked, but the arena is an exempt container module — growth is
+// its job, so nothing here may be flagged.
+// lint: hot-path
+
+pub fn spill(slabs: &mut Vec<Vec<u64>>) {
+    slabs.push(Vec::new());
+}

@@ -16,6 +16,13 @@
 //! * (`sleep`) No `thread::sleep` outside test code and fault-injection code
 //!   — ad-hoc sleeps hide races; waiting must go through condvars or the
 //!   fault layer. Legitimate pacing sleeps are allowlisted.
+//! * (`hot-path`) No growable-collection mutation — `.push(..)` /
+//!   `.insert(..)` — in non-test code of files carrying a `lint: hot-path`
+//!   marker comment. The hot path allocates through the arena and the
+//!   open-addressed stripe maps; a stray `Vec`/`HashMap` grow re-introduces
+//!   exactly the per-operation allocation the overhaul removed. The container
+//!   modules themselves (arena, stripe map, timestamp set) are exempt: growth
+//!   is their job.
 //! * (`rank-table`) Every lock site declared with `::named(...)` /
 //!   `::named_group(...)` in `crates/*/src` must appear in the canonical
 //!   rank table in `ARCHITECTURE.md` (between the
@@ -197,6 +204,20 @@ fn rank_scope(path: &str) -> bool {
     path.starts_with("crates/") && path.contains("/src/")
 }
 
+/// Whether the hot-path rule exempts this path wholesale: test trees, plus
+/// the container modules whose whole job is growable-collection mutation —
+/// the version arena, the open-addressed stripe maps, and the sorted
+/// timestamp set the lock tables are built on.
+fn hot_path_exempt(path: &str) -> bool {
+    const CONTAINERS: &[&str] = &[
+        "crates/storage/src/arena.rs",
+        "crates/storage/src/smap.rs",
+        "crates/storage/src/stripe.rs",
+        "crates/common/src/tsset.rs",
+    ];
+    path.split('/').any(|c| c == "tests") || CONTAINERS.contains(&path)
+}
+
 fn scan_file(
     path: &str,
     raw: &str,
@@ -212,6 +233,13 @@ fn scan_file(
     let unwrap_pat = concat!(".unw", "rap()");
     let expect_pat = concat!(".exp", "ect(");
     let sleep_pat = concat!("thread", "::sleep");
+    let hot_marker = concat!("// lint: hot", "-path");
+    let push_pat = concat!(".pu", "sh(");
+    let insert_pat = concat!(".ins", "ert(");
+
+    // The marker is a comment, which `scrub` blanks — look for it in the raw
+    // text instead.
+    let hot_path = raw.contains(hot_marker) && !hot_path_exempt(path);
 
     for (idx, line) in scrubbed.lines().enumerate() {
         let lineno = idx + 1;
@@ -248,6 +276,22 @@ fn scan_file(
                     line: lineno,
                     message: "`.expect(..)` in non-test code; return an error instead".to_string(),
                 });
+            }
+        }
+
+        if hot_path && !is_test {
+            for pat in [push_pat, insert_pat] {
+                if line.contains(pat) {
+                    violations.push(Violation {
+                        rule: "hot-path",
+                        path: path.to_string(),
+                        line: lineno,
+                        message: format!(
+                            "`{pat}..)` in a hot-path file; grow through the arena / \
+                             stripe-map / timestamp-set containers instead"
+                        ),
+                    });
+                }
             }
         }
 
@@ -742,6 +786,16 @@ mod tests {
         assert_eq!(std_sync_primitive("{Arc}"), None);
         assert_eq!(std_sync_primitive("atomic::AtomicU64"), None);
         assert_eq!(std_sync_primitive("mpsc::channel"), None);
+    }
+
+    #[test]
+    fn hot_path_exemptions_cover_containers_and_tests() {
+        assert!(hot_path_exempt("crates/storage/src/arena.rs"));
+        assert!(hot_path_exempt("crates/storage/src/smap.rs"));
+        assert!(hot_path_exempt("crates/common/src/tsset.rs"));
+        assert!(hot_path_exempt("crates/core/tests/alloc_counts.rs"));
+        assert!(!hot_path_exempt("crates/core/src/cell.rs"));
+        assert!(!hot_path_exempt("crates/core/src/txn.rs"));
     }
 
     #[test]

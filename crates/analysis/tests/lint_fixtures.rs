@@ -69,6 +69,20 @@ fn sleep_fixture_flags_non_test_sleep_only() {
 }
 
 #[test]
+fn hot_path_fixture_flags_marked_file_growth_and_no_decoys() {
+    let violations = run("hot_path");
+    assert_eq!(
+        lines_for(&violations, "hot-path", "crates/demo/src/lib.rs"),
+        vec![7, 11],
+        "violations: {violations:?}"
+    );
+    // Nothing else fires: the unmarked sibling, the exempt arena container,
+    // test code, and mentions inside comments/strings are decoys.
+    assert_eq!(violations.len(), 2, "violations: {violations:?}");
+    assert!(violations.iter().any(|v| v.message.contains("arena")));
+}
+
+#[test]
 fn rank_fixture_flags_mismatch_missing_phantom_and_non_literal() {
     let violations = run("rank_mismatch");
     let rank: Vec<&Violation> = violations
@@ -171,7 +185,7 @@ fn binary_exit_codes_match_the_contract() {
     );
 
     // Exit 1 on each violation fixture.
-    for fixture_name in ["std_sync", "unwrap", "sleep", "rank_mismatch"] {
+    for fixture_name in ["std_sync", "unwrap", "sleep", "rank_mismatch", "hot_path"] {
         let out = std::process::Command::new(bin)
             .arg("--root")
             .arg(fixture(fixture_name))

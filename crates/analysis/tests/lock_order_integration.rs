@@ -89,8 +89,7 @@ fn full_stack_lock_order_is_acyclic_and_rank_consistent() {
     // The tracker saw the annotated sites...
     let sites = lock_order::sites();
     for expected in [
-        "core.store.shard",
-        "core.cell.data",
+        "core.store.stripe",
         "baselines.tpl.shard",
         "baselines.tpl.key",
         "baselines.mvto.shard",

@@ -14,12 +14,48 @@
 //! Pass `--smoke` / `--paper` for the grid scale (default quick) and
 //! `--seed N` for reproducible reruns. The artifact is written to the
 //! current directory; CI uploads it with `actions/upload-artifact`.
+//!
+//! **Perf-regression gate**: `--baseline BENCH_smoke.json` loads a blessed
+//! artifact *before* the run (the run overwrites the file), matches every
+//! closed-loop cell by `(spec, engine, mode, dist, batch, clients)`, prints
+//! the per-cell delta table, and exits non-zero if any matched cell's
+//! throughput dropped more than 20% ([`mvtl_workload::BASELINE_ALLOWED_DROP`])
+//! below what the baseline's own bless run could reproduce — its slowest
+//! best-of-N round, via the recorded `round_spread`, so a timeout-quantized
+//! cell is not held to its luckiest draw. A cell that appears regressed is
+//! re-measured (up to
+//! three confirmation passes, keeping the best number) before the gate
+//! fails: closed-loop noise is one-sided, so a drop that clears on a retry
+//! was noise while a structural regression reproduces on every pass. To
+//! bless a new baseline, commit the regenerated `BENCH_<scale>.json` the
+//! run just wrote.
 
 use mvtl_workload::{
-    bench_report, check_bench_report, run_closed_loop, BenchReport, ReportOptions, RunnerOptions,
-    Scale, WorkloadSpec,
+    bench_report, check_bench_report, compare_to_baseline, confirm_regressions, run_closed_loop,
+    run_grid_cell, BenchReport, ReportOptions, RunnerOptions, Scale, WorkloadSpec,
+    BASELINE_ALLOWED_DROP,
 };
 use std::time::Duration;
+
+/// Parses `--baseline PATH` and loads the blessed report, panicking (exit
+/// non-zero, the CI behaviour) when the file is missing or does not parse —
+/// a perf gate that silently skips comparison is worse than none.
+fn baseline_from_args<I: IntoIterator<Item = String>>(args: I) -> Option<BenchReport> {
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if arg == "--baseline" {
+            let path = args
+                .next()
+                .unwrap_or_else(|| panic!("--baseline requires a path"));
+            let raw = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("reading baseline {path}: {e}"));
+            let report = BenchReport::from_json_str(&raw)
+                .unwrap_or_else(|e| panic!("baseline {path} does not parse: {e}"));
+            return Some(report);
+        }
+    }
+    None
+}
 
 /// Best-of-3 closed-loop throughput of `spec` on the dedup-friendly micro
 /// workload (32 reads per transaction, zipf(1.2) over 64 keys, one client —
@@ -48,6 +84,9 @@ fn micro_tps(spec: &str, batch: usize, seed: u64) -> f64 {
 fn main() {
     let scale = mvtl_bench::scale_from_args(std::env::args().skip(1));
     let seed = mvtl_bench::seed_from_args(std::env::args().skip(1), 42);
+    // Load the blessed baseline *before* running: the run overwrites the
+    // artifact file the baseline usually lives in.
+    let baseline = baseline_from_args(std::env::args().skip(1));
     let name = match scale {
         Scale::Smoke => "smoke",
         Scale::Quick => "quick",
@@ -78,6 +117,62 @@ fn main() {
         report.rows.len(),
         report.schema_version
     );
+
+    // Perf-regression gate: every closed-loop cell matched against the
+    // blessed baseline must keep at least (1 - allowed_drop) of its
+    // throughput. The full delta table prints either way, so every speedup
+    // is a tracked number, not just the failures.
+    if let Some(baseline) = &baseline {
+        let mut cmp = compare_to_baseline(&report, baseline);
+        print!("{}", cmp.render(BASELINE_ALLOWED_DROP));
+        if !cmp.regressions(BASELINE_ALLOWED_DROP).is_empty() {
+            // Noise filter: closed-loop noise is one-sided (a cell can only
+            // measure below its capacity), so re-measure the flagged cells —
+            // a drop that clears on a retry was noise, a structural
+            // regression reproduces on every pass.
+            cmp = confirm_regressions(&mut report, baseline, BASELINE_ALLOWED_DROP, 3, |row| {
+                println!(
+                    "# re-measuring {} ({}, batch {}) to confirm the regression",
+                    row.spec, row.dist, row.batch
+                );
+                let dist = options
+                    .dists
+                    .iter()
+                    .copied()
+                    .find(|d| d.label() == row.dist)
+                    .unwrap_or_else(|| panic!("regressed cell has unknown dist {:?}", row.dist));
+                run_grid_cell(&row.spec, dist, row.batch, &options)
+            });
+            // The artifact must carry the confirmed numbers.
+            let rendered = report.to_json_string();
+            std::fs::write(&path, &rendered).unwrap_or_else(|e| panic!("rewriting {path}: {e}"));
+            print!("{}", cmp.render(BASELINE_ALLOWED_DROP));
+        }
+        let regressions = cmp.regressions(BASELINE_ALLOWED_DROP);
+        assert!(
+            regressions.is_empty(),
+            "{} cell(s) regressed more than {:.0}% against the baseline: {}",
+            regressions.len(),
+            BASELINE_ALLOWED_DROP * 100.0,
+            regressions
+                .iter()
+                .map(|d| format!(
+                    "{} ({}, batch {}): {:.2}x",
+                    d.spec,
+                    d.dist,
+                    d.batch,
+                    d.ratio()
+                ))
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+        println!(
+            "# baseline gate passed: {} matched cells within {:.0}% of their slowest \
+             blessed round",
+            cmp.deltas.len(),
+            BASELINE_ALLOWED_DROP * 100.0
+        );
+    }
 
     // Batch micro-gate on the reference engine: batching a dedup-friendly
     // transaction must not cost throughput. (The criterion bench

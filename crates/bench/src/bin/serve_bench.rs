@@ -100,6 +100,8 @@ fn open_row(
         shed: metrics.shed,
         elapsed_secs: metrics.elapsed_secs,
         throughput_tps: metrics.achieved_tps(),
+        // Open-loop rows are single measurements, not best-of-N.
+        round_spread: 1.0,
         abort_rate: if executed == 0 {
             0.0
         } else {

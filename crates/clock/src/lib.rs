@@ -16,6 +16,10 @@
 //!
 //! * [`GlobalClock`] — a monotonically increasing shared counter (the "discrete
 //!   global clock" of §2);
+//! * [`BatchedClock`] — processes draw *blocks* of timestamps from a shared
+//!   counter and hand them out locally (the batching flavour of §8.1's
+//!   timestamp service); unique and per-process monotonic, but not globally
+//!   ordered, so only the interval engines may use it;
 //! * [`SkewedClock`] — a per-process view of the global clock with a constant
 //!   offset per process (can violate monotonicity across processes, provoking
 //!   serial aborts);
@@ -35,4 +39,7 @@ mod service;
 mod sources;
 
 pub use service::TimestampService;
-pub use sources::{ClockSource, EpsilonClock, GlobalClock, ManualClock, SkewedClock, SystemClock};
+pub use sources::{
+    BatchedClock, ClockSource, EpsilonClock, GlobalClock, ManualClock, SkewedClock, SystemClock,
+    MAX_CLOCK_BLOCK,
+};

@@ -48,6 +48,7 @@
 
 pub mod engine;
 mod error;
+pub mod hist;
 mod ids;
 pub mod kv;
 pub mod ops;

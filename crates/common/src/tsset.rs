@@ -4,6 +4,37 @@ use crate::{Timestamp, TsRange};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Ranges stored inline before spilling to the heap. Nearly every set on the
+/// hot path — a lock request, a grant, a candidate set — is one or two
+/// contiguous intervals, so two inline slots make the common case
+/// allocation-free.
+const INLINE_RANGES: usize = 2;
+
+/// Filler for unused inline slots; never observable through the public API.
+const SLOT_FILLER: TsRange = TsRange {
+    start: Timestamp::ZERO,
+    end: Timestamp::ZERO,
+};
+
+/// The canonical range storage: a fixed inline array for small sets, a heap
+/// vector only when a set exceeds [`INLINE_RANGES`] disjoint intervals.
+///
+/// Every mutation rebuilds through [`TsSet::push_canonical`], so a freshly
+/// produced set is always in the smallest representation that fits — `Heap`
+/// implies more than [`INLINE_RANGES`] ranges at some point during the
+/// rebuild. Equality is defined on the range sequence, not the representation.
+#[derive(Clone, Serialize, Deserialize)]
+enum Repr {
+    /// Up to [`INLINE_RANGES`] ranges stored by value; `len` counts the live
+    /// prefix of `slots`.
+    Inline {
+        len: u8,
+        slots: [TsRange; INLINE_RANGES],
+    },
+    /// Spilled storage for larger sets.
+    Heap(Vec<TsRange>),
+}
+
 /// A set of timestamps stored as sorted, disjoint, non-adjacent closed ranges.
 ///
 /// `TsSet` is the workhorse of the reproduction: it represents
@@ -15,17 +46,38 @@ use std::fmt;
 ///   intersecting the locked sets across all keys of the transaction.
 ///
 /// All operations keep the canonical representation (sorted, disjoint, merged
-/// when adjacent), so equality is structural.
-#[derive(Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+/// when adjacent), so equality is structural. Sets of up to two ranges — the
+/// overwhelmingly common case on the lock-table hot path — are stored inline
+/// and never touch the allocator.
+#[derive(Clone, Serialize, Deserialize)]
 pub struct TsSet {
-    ranges: Vec<TsRange>,
+    repr: Repr,
 }
+
+impl Default for TsSet {
+    fn default() -> Self {
+        TsSet::new()
+    }
+}
+
+impl PartialEq for TsSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.ranges() == other.ranges()
+    }
+}
+
+impl Eq for TsSet {}
 
 impl TsSet {
     /// The empty set.
     #[must_use]
     pub fn new() -> Self {
-        TsSet { ranges: Vec::new() }
+        TsSet {
+            repr: Repr::Inline {
+                len: 0,
+                slots: [SLOT_FILLER; INLINE_RANGES],
+            },
+        }
     }
 
     /// The empty set (alias, reads better in some call sites).
@@ -37,8 +89,10 @@ impl TsSet {
     /// A set containing a single closed range.
     #[must_use]
     pub fn from_range(range: TsRange) -> Self {
+        let mut slots = [SLOT_FILLER; INLINE_RANGES];
+        slots[0] = range;
         TsSet {
-            ranges: vec![range],
+            repr: Repr::Inline { len: 1, slots },
         }
     }
 
@@ -58,28 +112,52 @@ impl TsSet {
         set
     }
 
+    /// Appends `range` after every range already stored. The caller guarantees
+    /// canonical order (sorted, disjoint, non-adjacent); this is the single
+    /// point where inline storage spills to the heap.
+    fn push_canonical(&mut self, range: TsRange) {
+        match &mut self.repr {
+            Repr::Inline { len, slots } => {
+                let n = usize::from(*len);
+                if n < INLINE_RANGES {
+                    slots[n] = range;
+                    *len += 1;
+                } else {
+                    let mut spilled = Vec::with_capacity(INLINE_RANGES * 2);
+                    spilled.extend_from_slice(&slots[..n]);
+                    spilled.push(range);
+                    self.repr = Repr::Heap(spilled);
+                }
+            }
+            Repr::Heap(ranges) => ranges.push(range),
+        }
+    }
+
     /// Whether the set contains no timestamps.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.ranges.is_empty()
+        self.ranges().is_empty()
     }
 
     /// Number of disjoint ranges in the canonical representation.
     #[must_use]
     pub fn range_count(&self) -> usize {
-        self.ranges.len()
+        self.ranges().len()
     }
 
     /// The ranges of the canonical representation, sorted and disjoint.
     #[must_use]
     pub fn ranges(&self) -> &[TsRange] {
-        &self.ranges
+        match &self.repr {
+            Repr::Inline { len, slots } => &slots[..usize::from(*len)],
+            Repr::Heap(ranges) => ranges,
+        }
     }
 
     /// Whether `t` belongs to the set.
     #[must_use]
     pub fn contains(&self, t: Timestamp) -> bool {
-        self.ranges
+        self.ranges()
             .binary_search_by(|r| {
                 if r.end < t {
                     std::cmp::Ordering::Less
@@ -95,46 +173,45 @@ impl TsSet {
     /// Whether every timestamp of `range` belongs to the set.
     #[must_use]
     pub fn contains_range(&self, range: &TsRange) -> bool {
-        self.ranges.iter().any(|r| r.contains_range(range))
+        self.ranges().iter().any(|r| r.contains_range(range))
     }
 
     /// The smallest timestamp in the set, if any.
     #[must_use]
     pub fn min(&self) -> Option<Timestamp> {
-        self.ranges.first().map(|r| r.start)
+        self.ranges().first().map(|r| r.start)
     }
 
     /// The largest timestamp in the set, if any.
     #[must_use]
     pub fn max(&self) -> Option<Timestamp> {
-        self.ranges.last().map(|r| r.end)
+        self.ranges().last().map(|r| r.end)
     }
 
     /// Inserts one closed range, merging as needed.
     pub fn insert_range(&mut self, range: TsRange) {
-        // Find all existing ranges that touch `range` and merge them into one.
         let mut new_start = range.start;
         let mut new_end = range.end;
-        let mut merged: Vec<TsRange> = Vec::with_capacity(self.ranges.len() + 1);
+        let mut merged = TsSet::new();
         let mut placed = false;
-        for r in &self.ranges {
+        for r in self.ranges() {
             if r.touches(&TsRange::new(new_start, new_end)) {
                 new_start = new_start.min(r.start);
                 new_end = new_end.max(r.end);
             } else if r.end < new_start {
-                merged.push(*r);
+                merged.push_canonical(*r);
             } else {
                 if !placed {
-                    merged.push(TsRange::new(new_start, new_end));
+                    merged.push_canonical(TsRange::new(new_start, new_end));
                     placed = true;
                 }
-                merged.push(*r);
+                merged.push_canonical(*r);
             }
         }
         if !placed {
-            merged.push(TsRange::new(new_start, new_end));
+            merged.push_canonical(TsRange::new(new_start, new_end));
         }
-        self.ranges = merged;
+        *self = merged;
     }
 
     /// Inserts a single timestamp.
@@ -144,40 +221,43 @@ impl TsSet {
 
     /// Removes every timestamp of `range` from the set.
     pub fn remove_range(&mut self, range: TsRange) {
-        let mut out: Vec<TsRange> = Vec::with_capacity(self.ranges.len() + 1);
-        for r in &self.ranges {
+        if !self.ranges().iter().any(|r| r.overlaps(&range)) {
+            return;
+        }
+        let mut out = TsSet::new();
+        for r in self.ranges() {
             if !r.overlaps(&range) {
-                out.push(*r);
+                out.push_canonical(*r);
                 continue;
             }
             // Left remainder.
             if r.start < range.start {
-                out.push(TsRange::new(r.start, range.start.pred()));
+                out.push_canonical(TsRange::new(r.start, range.start.pred()));
             }
             // Right remainder.
             if r.end > range.end {
-                out.push(TsRange::new(range.end.succ(), r.end));
+                out.push_canonical(TsRange::new(range.end.succ(), r.end));
             }
         }
-        self.ranges = out;
+        *self = out;
     }
 
     /// Keeps only the timestamps also contained in `range`.
     pub fn intersect_range(&mut self, range: TsRange) {
-        let mut out = Vec::with_capacity(self.ranges.len());
-        for r in &self.ranges {
+        let mut out = TsSet::new();
+        for r in self.ranges() {
             if let Some(i) = r.intersection(&range) {
-                out.push(i);
+                out.push_canonical(i);
             }
         }
-        self.ranges = out;
+        *self = out;
     }
 
     /// Set union.
     #[must_use]
     pub fn union(&self, other: &TsSet) -> TsSet {
         let mut out = self.clone();
-        for r in &other.ranges {
+        for r in other.ranges() {
             out.insert_range(*r);
         }
         out
@@ -187,12 +267,14 @@ impl TsSet {
     #[must_use]
     pub fn intersection(&self, other: &TsSet) -> TsSet {
         let mut out = TsSet::new();
+        let a_ranges = self.ranges();
+        let b_ranges = other.ranges();
         let (mut i, mut j) = (0usize, 0usize);
-        while i < self.ranges.len() && j < other.ranges.len() {
-            let a = self.ranges[i];
-            let b = other.ranges[j];
+        while i < a_ranges.len() && j < b_ranges.len() {
+            let a = a_ranges[i];
+            let b = b_ranges[j];
             if let Some(r) = a.intersection(&b) {
-                out.ranges.push(r);
+                out.push_canonical(r);
             }
             if a.end <= b.end {
                 i += 1;
@@ -207,7 +289,7 @@ impl TsSet {
     #[must_use]
     pub fn difference(&self, other: &TsSet) -> TsSet {
         let mut out = self.clone();
-        for r in &other.ranges {
+        for r in other.ranges() {
             out.remove_range(*r);
         }
         out
@@ -218,7 +300,7 @@ impl TsSet {
     /// Only useful in tests for small sets; production code always works on
     /// ranges.
     pub fn iter_points(&self) -> impl Iterator<Item = Timestamp> + '_ {
-        self.ranges.iter().flat_map(|r| PointIter {
+        self.ranges().iter().flat_map(|r| PointIter {
             next: Some(r.start),
             end: r.end,
         })
@@ -228,7 +310,7 @@ impl TsSet {
     /// ranges are narrow (statistics and tests).
     #[must_use]
     pub fn approx_len(&self) -> u64 {
-        self.ranges
+        self.ranges()
             .iter()
             .map(|r| r.approx_width().unwrap_or(u64::MAX).saturating_add(1))
             .fold(0u64, u64::saturating_add)
@@ -260,7 +342,7 @@ impl Iterator for PointIter {
 impl fmt::Debug for TsSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, r) in self.ranges.iter().enumerate() {
+        for (i, r) in self.ranges().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -426,5 +508,30 @@ mod tests {
         assert!(!s.contains(ts(4)));
         let t: TsSet = [r(1, 2), r(4, 6)].into_iter().collect();
         assert_eq!(t.range_count(), 2);
+    }
+
+    #[test]
+    fn inline_storage_spills_and_equality_ignores_representation() {
+        // Grow past the inline capacity and shrink back down: the set must
+        // behave identically to its small-set form at every step.
+        let mut s = TsSet::new();
+        for i in 0..6u64 {
+            s.insert_range(r(i * 10 + 1, i * 10 + 3));
+        }
+        assert_eq!(s.range_count(), 6);
+        for i in 0..6u64 {
+            assert!(s.contains(ts(i * 10 + 2)));
+            assert!(!s.contains(ts(i * 10 + 5)));
+        }
+        // Collapse every gap: the merged single-range set compares equal to a
+        // freshly built inline one.
+        s.insert_range(r(1, 53));
+        assert_eq!(s.range_count(), 1);
+        assert_eq!(s, TsSet::from_range(r(1, 53)));
+        // Shrink a spilled set via intersection and compare against inline.
+        let big = TsSet::from_ranges([r(1, 2), r(4, 5), r(7, 8), r(10, 11)]);
+        let mut narrowed = big.clone();
+        narrowed.intersect_range(r(4, 8));
+        assert_eq!(narrowed, TsSet::from_ranges([r(4, 5), r(7, 8)]));
     }
 }

@@ -13,7 +13,6 @@
 
 use crate::Timestamp;
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
 
 /// A ticket returned by [`ActiveTxnRegistry::register`]; hand it back to
 /// [`ActiveTxnRegistry::deregister`] when the transaction finishes.
@@ -23,6 +22,7 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TxnPin {
     ts: Timestamp,
+    slot: usize,
     seq: u64,
 }
 
@@ -36,10 +36,12 @@ impl TxnPin {
 
 /// A registry of in-flight transactions and the timestamps they anchor on.
 ///
-/// Internally a multiset of pinned timestamps ordered by `(timestamp, seq)`,
-/// so registration, deregistration and the watermark query are all
-/// `O(log n)` in the number of *active* transactions — the registry never
-/// grows with history.
+/// Internally a slab of pinned timestamps with a free list: registration and
+/// deregistration reuse slots, so the steady state of a running workload
+/// (`begin`/`commit` per transaction) touches no allocator — the slab's
+/// capacity is bounded by the maximum number of *concurrent* transactions,
+/// never by history. The watermark query scans the live slots, which is
+/// cheap at realistic concurrency and runs only on the GC cadence.
 #[derive(Debug)]
 pub struct ActiveTxnRegistry {
     inner: Mutex<RegistryInner>,
@@ -55,7 +57,11 @@ impl Default for ActiveTxnRegistry {
 
 #[derive(Debug, Default)]
 struct RegistryInner {
-    pins: BTreeMap<(Timestamp, u64), ()>,
+    /// `Some((ts, seq))` per live pin; `None` slots are recycled via `free`.
+    /// The `seq` disambiguates reuse so a stale pin cannot evict a successor.
+    slots: Vec<Option<(Timestamp, u64)>>,
+    free: Vec<usize>,
+    live: usize,
     next_seq: u64,
 }
 
@@ -73,14 +79,28 @@ impl ActiveTxnRegistry {
         let mut inner = self.inner.lock();
         let seq = inner.next_seq;
         inner.next_seq = inner.next_seq.wrapping_add(1);
-        inner.pins.insert((ts, seq), ());
-        TxnPin { ts, seq }
+        inner.live += 1;
+        let slot = match inner.free.pop() {
+            Some(slot) => {
+                inner.slots[slot] = Some((ts, seq));
+                slot
+            }
+            None => {
+                inner.slots.push(Some((ts, seq)));
+                inner.slots.len() - 1
+            }
+        };
+        TxnPin { ts, slot, seq }
     }
 
     /// Deregisters a finished transaction. Idempotent.
     pub fn deregister(&self, pin: TxnPin) {
         let mut inner = self.inner.lock();
-        inner.pins.remove(&(pin.ts, pin.seq));
+        if inner.slots.get(pin.slot).copied().flatten() == Some((pin.ts, pin.seq)) {
+            inner.slots[pin.slot] = None;
+            inner.free.push(pin.slot);
+            inner.live -= 1;
+        }
     }
 
     /// The smallest pinned timestamp among active transactions, or `None`
@@ -88,14 +108,14 @@ impl ActiveTxnRegistry {
     #[must_use]
     pub fn low_watermark(&self) -> Option<Timestamp> {
         let inner = self.inner.lock();
-        inner.pins.keys().next().map(|(ts, _)| *ts)
+        inner.slots.iter().flatten().map(|(ts, _)| *ts).min()
     }
 
     /// Number of transactions currently registered.
     #[must_use]
     pub fn active_count(&self) -> usize {
         let inner = self.inner.lock();
-        inner.pins.len()
+        inner.live
     }
 }
 

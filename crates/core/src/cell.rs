@@ -1,48 +1,61 @@
-//! The per-key cell: lock state + version chain behind one latch.
+//! Per-stripe cell state: lock table + version chain stored inline in the
+//! stripe map.
+// lint: hot-path
+//!
+//! The paper's implementation stores, per key, "two skip lists, one for
+//! version state, one for lock state" under a per-entry latch (§8.1). Earlier
+//! revisions of this crate mirrored that with a per-key `Arc<KeyCell>` (its
+//! own mutex + condvar) inside sharded `HashMap`s; the hot path paid for a
+//! shard rwlock, a map probe, an `Arc` clone and a second mutex on every
+//! operation. Now a key's state is a plain [`KeyData`] embedded directly in
+//! the stripe's open-addressed [`StripeMap`], guarded by the *stripe* latch,
+//! and spill storage for version-heavy keys comes from the stripe's
+//! [`ChainArena`].
 
 use mvtl_locks::KeyLockState;
-use mvtl_storage::VersionChain;
-use parking_lot::{Condvar, Mutex};
+use mvtl_storage::{ArenaChain, ChainArena, StripeMap};
 
-/// Data protected by a key's latch.
-///
-/// The paper's implementation stores, per key, "two skip lists, one for version
-/// state, one for lock state" under a per-entry latch (§8.1). Here the two
-/// lists are the interval lock table and the version chain.
+/// Per-key state: the interval lock table and the committed version chain.
 #[derive(Debug)]
 pub(crate) struct KeyData<V> {
     pub locks: KeyLockState,
-    pub versions: VersionChain<V>,
+    pub versions: ArenaChain<V>,
+}
+
+impl<V> Default for KeyData<V> {
+    fn default() -> Self {
+        KeyData {
+            locks: KeyLockState::new(),
+            versions: ArenaChain::default(),
+        }
+    }
 }
 
 impl<V: Clone> KeyData<V> {
-    pub(crate) fn new() -> Self {
-        KeyData {
-            locks: KeyLockState::new(),
-            versions: VersionChain::new(),
-        }
+    /// Whether the cell holds no state worth keeping (no locks, no versions):
+    /// such cells are reclaimed by [`purge_below`](crate::MvtlStore::purge_below).
+    ///
+    /// A chain that has purged versions always retains at least the newest
+    /// purged-below version, so reclaiming an idle cell never discards a
+    /// purge bound a reader could still trip over.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.locks.is_empty() && self.versions.is_empty()
     }
 }
 
-/// A key cell: the latched data plus a condition variable used to wait for
-/// unfrozen conflicting locks to be released or frozen.
+/// The state guarded by one stripe latch: the key → [`KeyData`] map plus the
+/// arena recycling spill buffers for the stripe's version chains.
 #[derive(Debug)]
-pub(crate) struct KeyCell<V> {
-    pub data: Mutex<KeyData<V>>,
-    pub changed: Condvar,
+pub(crate) struct CoreStripe<V> {
+    pub map: StripeMap<KeyData<V>>,
+    pub arena: ChainArena<V>,
 }
 
-impl<V: Clone> KeyCell<V> {
-    pub(crate) fn new() -> Self {
-        KeyCell {
-            data: Mutex::named("core.cell.data", 62, KeyData::new()),
-            changed: Condvar::new(),
+impl<V> Default for CoreStripe<V> {
+    fn default() -> Self {
+        CoreStripe {
+            map: StripeMap::new(),
+            arena: ChainArena::new(),
         }
-    }
-
-    /// Wakes every transaction waiting on this key (called after releasing or
-    /// freezing locks, or installing a version).
-    pub(crate) fn notify(&self) {
-        self.changed.notify_all();
     }
 }

@@ -27,11 +27,11 @@
 //!
 //! ## Structure
 //!
-//! * [`MvtlStore`] — the storage engine: a sharded map from keys to per-key
-//!   cells, each holding the interval lock state
-//!   ([`mvtl_locks::KeyLockState`]) and the version chain
-//!   ([`mvtl_storage::VersionChain`]) behind one latch, exactly like the
-//!   paper's per-key latched hash table (§8.1).
+//! * [`MvtlStore`] — the storage engine: a striped open-addressed map from
+//!   keys to inline per-key cells, each holding the interval lock state
+//!   ([`mvtl_locks::KeyLockState`]) and an arena-backed version chain
+//!   ([`mvtl_storage::ArenaChain`]) behind the stripe's latch, mirroring the
+//!   paper's per-key latched hash table (§8.1) without per-key allocation.
 //! * [`TxState`] / [`MvtlTransaction`] — per-transaction bookkeeping: read set,
 //!   write set, locks held, candidate timestamps.
 //! * [`LockingPolicy`] / [`PolicyCtx`] — the policy interface mirroring

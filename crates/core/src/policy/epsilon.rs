@@ -55,11 +55,14 @@ impl LockingPolicy for EpsilonPolicy {
         }
         // Try to write-lock tx.TS, waiting on unfrozen conflicts; then shrink
         // tx.TS to what was actually acquired.
-        let ranges: Vec<TsRange> = tx.ts_set.ranges().to_vec();
+        // Index walk instead of cloning the range list: `acquire_write_range`
+        // never mutates `ts_set`.
         let mut acquired = TsSet::new();
-        for range in ranges {
+        let mut i = 0;
+        while let Some(range) = tx.ts_set.ranges().get(i).copied() {
             let granted = ctx.acquire_write_range(tx, key, range, true)?;
             acquired = acquired.union(&granted);
+            i += 1;
         }
         tx.ts_set = tx.ts_set.intersection(&acquired);
         if tx.ts_set.is_empty() {

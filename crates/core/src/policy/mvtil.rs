@@ -79,11 +79,15 @@ impl LockingPolicy for MvtilPolicy {
         if tx.ts_set.is_empty() {
             return Err(TxError::aborted(AbortReason::IntervalExhausted { key }));
         }
-        let ranges: Vec<TsRange> = tx.ts_set.ranges().to_vec();
+        // Iterate by index: `acquire_write_range` updates the lock mirror but
+        // never touches `ts_set`, so the snapshot-free walk stays consistent
+        // and avoids cloning the range list on every write.
         let mut acquired = TsSet::new();
-        for range in ranges {
+        let mut i = 0;
+        while let Some(range) = tx.ts_set.ranges().get(i).copied() {
             let granted = ctx.acquire_write_range(tx, key, range, false)?;
             acquired = acquired.union(&granted);
+            i += 1;
         }
         tx.ts_set = tx.ts_set.intersection(&acquired);
         if tx.ts_set.is_empty() {

@@ -1,6 +1,6 @@
 //! The MVTL storage engine (Algorithm 1).
 
-use crate::cell::KeyCell;
+use crate::cell::{CoreStripe, KeyData};
 use crate::policy::{LockingPolicy, PolicyCtx, ReadGrant};
 use crate::txn::{HeldLocks, MvtlTransaction, TxState};
 use crate::MvtlConfig;
@@ -9,10 +9,8 @@ use mvtl_common::{
     AbortReason, ActiveTxnRegistry, CommitInfo, Key, LockMode, ProcessId, StoreStats, Timestamp,
     TransactionalKV, TsRange, TsSet, TxError, TxStatus,
 };
-use parking_lot::RwLock;
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use mvtl_storage::{ChainArena, StripedTable};
+use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -54,13 +52,19 @@ impl<V> PreparedCommit<V> {
 /// The generic MVTL storage engine, parameterized by a [`LockingPolicy`].
 ///
 /// `V` is the value type stored in versions. The engine is safe to share across
-/// threads (`&self` methods take per-key latches internally), mirroring the
+/// threads (`&self` methods take per-stripe latches internally), mirroring the
 /// multi-threaded server of the paper's implementation (§8.1).
+///
+/// Key state lives inline in striped open-addressed maps: an operation routes
+/// to a stripe, takes that stripe's mutex, and works on the entry in place —
+/// there is no per-key `Arc`, no shard rwlock in front of a per-key mutex,
+/// and version storage beyond a small inline capacity comes from a per-stripe
+/// arena of recycled buffers.
 pub struct MvtlStore<V, P> {
     policy: P,
     clock: Arc<dyn ClockSource>,
     config: MvtlConfig,
-    shards: Vec<RwLock<HashMap<Key, Arc<KeyCell<V>>>>>,
+    cells: StripedTable<CoreStripe<V>>,
     /// In-flight transactions and the lowest timestamp each may still anchor
     /// a read on; its minimum is the store's GC [low
     /// watermark](MvtlStore::low_watermark).
@@ -75,14 +79,14 @@ where
     /// Creates a store with the given policy, clock source and configuration.
     #[must_use]
     pub fn new(policy: P, clock: Arc<dyn ClockSource>, config: MvtlConfig) -> Self {
-        let shards = (0..config.shards.max(1))
-            .map(|_| RwLock::named("core.store.shard", 60, HashMap::new()))
-            .collect();
+        let cells = StripedTable::build(config.shards.max(1), |stripe| {
+            Mutex::named("core.store.stripe", 60, stripe)
+        });
         MvtlStore {
             policy,
             clock,
             config,
-            shards,
+            cells,
             active: ActiveTxnRegistry::new(),
         }
     }
@@ -97,6 +101,26 @@ where
     #[must_use]
     pub fn config(&self) -> &MvtlConfig {
         &self.config
+    }
+
+    /// Runs `f` on `key`'s cell (created when absent) and the stripe's arena
+    /// under the stripe latch, then wakes the stripe's waiters once the latch
+    /// is released — for operations that release or freeze locks, or install
+    /// versions.
+    #[inline]
+    fn with_cell_notify<R>(
+        &self,
+        key: Key,
+        f: impl FnOnce(&mut KeyData<V>, &mut ChainArena<V>) -> R,
+    ) -> R {
+        let stripe = self.cells.stripe_for(key);
+        let result = {
+            let mut guard = stripe.data.lock();
+            let CoreStripe { map, arena } = &mut *guard;
+            f(map.get_or_insert_with(key, KeyData::default), arena)
+        };
+        stripe.notify();
+        result
     }
 
     /// Begins a transaction, optionally pinning the clock value it observes and
@@ -162,11 +186,11 @@ where
     fn read_committed(&self, txn: &mut MvtlTransaction<V>, key: Key) -> Result<Option<V>, TxError> {
         match self.policy.read_locks(self, &mut txn.state, key) {
             Ok(version) => {
-                txn.state.read_set.push((key, version));
+                txn.state.record_read(key, version);
                 if version.is_zero() {
                     return Ok(None);
                 }
-                // The policy anchored on `version` under the cell latch, but
+                // The policy anchored on `version` under the stripe latch, but
                 // the latch was released before we get here, so a concurrent
                 // `purge_below` may have removed the selected version in the
                 // window. A missing version for a non-zero anchor therefore
@@ -174,12 +198,16 @@ where
                 // would fabricate an empty read of a key that has a committed
                 // value. Abort with `VersionPurged` instead (§6: transactions
                 // that need purged state must abort).
-                let cell = self.cell(key);
                 let fetched = {
-                    let data = cell.data.lock();
-                    match data.versions.at(version) {
-                        Some(value) => Ok(value.clone()),
-                        None => Err(data.versions.purged_below()),
+                    let stripe = self.cells.stripe_for(key);
+                    let guard = stripe.data.lock();
+                    match guard.map.get(key) {
+                        Some(data) => match data.versions.at(version) {
+                            Some(value) => Ok(value.clone()),
+                            None => Err(data.versions.purged_below()),
+                        },
+                        // The cell itself was reclaimed: every version is gone.
+                        None => Err(Timestamp::ZERO),
                     }
                 };
                 match fetched {
@@ -255,17 +283,22 @@ where
             .collect();
         need.sort_unstable();
         need.dedup();
-        let mut fetched: HashMap<Key, Option<V>> = HashMap::with_capacity(need.len());
+        // `need` is sorted, so the fetched pairs are sorted by key and the
+        // answer-assembly lookup below can binary search instead of hashing.
+        let mut fetched: Vec<(Key, Option<V>)> = Vec::with_capacity(need.len());
         for key in need {
             let value = self.read_committed(txn, key)?;
-            fetched.insert(key, value);
+            fetched.push((key, value));
         }
         Ok(keys
             .iter()
             .map(|key| {
-                txn.pending_write(*key)
-                    .cloned()
-                    .or_else(|| fetched.get(key).cloned().flatten())
+                txn.pending_write(*key).cloned().or_else(|| {
+                    fetched
+                        .binary_search_by_key(key, |(k, _)| *k)
+                        .ok()
+                        .and_then(|i| fetched[i].1.clone())
+                })
             })
             .collect())
     }
@@ -467,17 +500,14 @@ where
     /// member of the transaction's commit candidates.
     fn finish_commit(&self, mut txn: MvtlTransaction<V>, commit_ts: Timestamp) -> CommitInfo {
         // Lines 17-19: freeze the write locks at the commit timestamp and
-        // expose the committed values. Both happen under the key's latch so
+        // expose the committed values. Both happen under the stripe's latch so
         // that observers never see a frozen write lock without its version.
         for (key, value) in std::mem::take(&mut txn.write_values) {
-            let cell = self.cell(key);
-            {
-                let mut data = cell.data.lock();
+            self.with_cell_notify(key, |data, arena| {
                 data.locks
                     .freeze(txn.state.id, LockMode::Write, TsRange::point(commit_ts));
-                data.versions.install(commit_ts, value);
-            }
-            cell.notify();
+                data.versions.install(commit_ts, value, arena);
+            });
         }
         txn.state.status = TxStatus::Committed;
         txn.state.commit_ts = Some(commit_ts);
@@ -488,11 +518,13 @@ where
         if self.policy.commit_gc(&txn.state) {
             self.gc_transaction(&txn.state, commit_ts);
         }
+        // The transaction is consumed: move the read/write sets out instead
+        // of cloning them.
         CommitInfo {
             tx: txn.state.id,
             commit_ts: Some(commit_ts),
-            reads: txn.state.read_set.clone(),
-            writes: txn.state.write_keys.clone(),
+            reads: std::mem::take(&mut txn.state.read_set),
+            writes: std::mem::take(&mut txn.state.write_keys),
         }
     }
 
@@ -512,30 +544,22 @@ where
             if start > commit_ts {
                 continue;
             }
-            let cell = self.cell(*key);
-            {
-                let mut data = cell.data.lock();
+            self.with_cell_notify(*key, |data, _| {
                 data.locks
                     .freeze(tx.id, LockMode::Read, TsRange::new(start, commit_ts));
-            }
-            cell.notify();
+            });
         }
-        for key in tx.locked_keys() {
-            let cell = self.cell(key);
-            {
-                let mut data = cell.data.lock();
+        for (key, _) in tx.held.iter() {
+            self.with_cell_notify(key, |data, _| {
                 data.locks.release_unfrozen(tx.id);
-            }
-            cell.notify();
+            });
         }
     }
 
     fn abort_internal(&self, tx: &mut TxState) {
         let release_reads = self.policy.release_read_locks_on_abort();
-        for key in tx.locked_keys() {
-            let cell = self.cell(key);
-            {
-                let mut data = cell.data.lock();
+        for (key, _) in tx.held.iter() {
+            self.with_cell_notify(key, |data, _| {
                 if release_reads {
                     data.locks.release_unfrozen(tx.id);
                 } else {
@@ -544,8 +568,7 @@ where
                     data.locks
                         .release_unfrozen_range(tx.id, LockMode::Write, TsRange::all());
                 }
-            }
-            cell.notify();
+            });
         }
         tx.status = TxStatus::Aborted;
         if let Some(pin) = tx.gc_pin.take() {
@@ -600,53 +623,28 @@ where
     /// invariant automatically. Cells whose version chain is empty (only the
     /// implicit `⊥`) and whose lock table is empty after the purge are
     /// removed from the key map entirely, so keys that were only ever read —
-    /// or whose writers all aborted — stop occupying memory.
+    /// or whose writers all aborted — stop occupying memory. Reclamation is
+    /// safe under the stripe latch alone: nothing holds a reference to a cell
+    /// across a latch release, and waiters re-probe their key after waking.
     pub fn purge_below(&self, bound: Timestamp) -> (usize, usize) {
         let mut versions_removed = 0;
         let mut locks_removed = 0;
-        for shard in &self.shards {
-            let cells: Vec<(Key, Arc<KeyCell<V>>)> = shard
-                .read()
-                .iter()
-                .map(|(k, c)| (*k, Arc::clone(c)))
-                .collect();
-            let mut reclaimable: Vec<Key> = Vec::new();
-            for (key, cell) in cells {
-                let mut data = cell.data.lock();
-                versions_removed += data.versions.purge_below(bound);
-                locks_removed += data.locks.purge_below(bound);
-                let empty = data.versions.is_empty() && data.locks.is_empty();
-                drop(data);
-                cell.notify();
-                drop(cell);
-                if empty {
-                    reclaimable.push(key);
-                }
-            }
-            if reclaimable.is_empty() {
-                continue;
-            }
-            // Reclaim empty cells. Re-check under the shard *write* lock:
-            // `cell()` clones the Arc under the shard read lock, so while we
-            // hold the write lock a strong count of 1 proves no in-flight
-            // transaction holds a reference (and none can appear), and
-            // re-checking emptiness rules out state installed since the scan.
-            // Anyone who looks the key up later simply gets a fresh cell.
-            let mut map = shard.write();
-            for key in reclaimable {
-                let remove = match map.get(&key) {
-                    Some(cell) => {
-                        Arc::strong_count(cell) == 1 && {
-                            let data = cell.data.lock();
-                            data.versions.is_empty() && data.locks.is_empty()
-                        }
+        for stripe in self.cells.stripes() {
+            {
+                let mut guard = stripe.data.lock();
+                let CoreStripe { map, arena } = &mut *guard;
+                map.retain(|_, data| {
+                    versions_removed += data.versions.purge_below(bound, arena);
+                    locks_removed += data.locks.purge_below(bound);
+                    if data.is_idle() {
+                        data.versions.release(arena);
+                        false
+                    } else {
+                        true
                     }
-                    None => false,
-                };
-                if remove {
-                    map.remove(&key);
-                }
+                });
             }
+            stripe.notify();
         }
         (versions_removed, locks_removed)
     }
@@ -672,10 +670,9 @@ where
     #[must_use]
     pub fn stats(&self) -> StoreStats {
         let mut stats = StoreStats::default();
-        for shard in &self.shards {
-            let cells: Vec<Arc<KeyCell<V>>> = shard.read().values().cloned().collect();
-            for cell in cells {
-                let data = cell.data.lock();
+        for stripe in self.cells.stripes() {
+            let guard = stripe.data.lock();
+            for (_, data) in guard.map.iter() {
                 stats.keys += 1;
                 let vs = data.versions.stats();
                 stats.versions += vs.versions;
@@ -693,27 +690,15 @@ where
     /// debugging; regular access goes through transactions.
     #[must_use]
     pub fn snapshot_read(&self, key: Key, before: Timestamp) -> Option<V> {
-        let cell = self.cell(key);
-        let data = cell.data.lock();
-        match data.versions.latest_before(before) {
-            Ok((_, v)) => v,
-            Err(_) => None,
+        let stripe = self.cells.stripe_for(key);
+        let guard = stripe.data.lock();
+        match guard.map.get(key) {
+            Some(data) => match data.versions.latest_before(before) {
+                Ok((_, v)) => v,
+                Err(_) => None,
+            },
+            None => None,
         }
-    }
-
-    fn shard_for(&self, key: Key) -> usize {
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        (hasher.finish() as usize) % self.shards.len()
-    }
-
-    fn cell(&self, key: Key) -> Arc<KeyCell<V>> {
-        let shard = &self.shards[self.shard_for(key)];
-        if let Some(cell) = shard.read().get(&key) {
-            return Arc::clone(cell);
-        }
-        let mut map = shard.write();
-        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(KeyCell::new())))
     }
 }
 
@@ -737,10 +722,14 @@ where
         mut upper: Timestamp,
         wait: bool,
     ) -> Result<ReadGrant, TxError> {
-        let cell = self.cell(key);
+        let stripe = self.cells.stripe_for(key);
         let deadline = Instant::now() + self.config.lock_wait_timeout;
-        let mut data = cell.data.lock();
+        let mut guard = stripe.data.lock();
         loop {
+            // Re-probe the cell each iteration: waiting releases the latch,
+            // and the stripe map may rehash or reclaim entries while we sleep.
+            let CoreStripe { map, .. } = &mut *guard;
+            let data = map.get_or_insert_with(key, KeyData::default);
             let anchor = match data.versions.latest_before(anchor_below) {
                 Ok((t, _)) => t,
                 Err(bound) => {
@@ -777,7 +766,7 @@ where
             }
             if !analysis.blocked_unfrozen.is_empty() {
                 if wait {
-                    if cell.changed.wait_until(&mut data, deadline).timed_out() {
+                    if stripe.changed.wait_until(&mut guard, deadline).timed_out() {
                         return Err(TxError::aborted(AbortReason::LockTimeout { key }));
                     }
                     continue;
@@ -811,13 +800,15 @@ where
         desired: TsRange,
         wait: bool,
     ) -> Result<TsSet, TxError> {
-        let cell = self.cell(key);
+        let stripe = self.cells.stripe_for(key);
         let deadline = Instant::now() + self.config.lock_wait_timeout;
-        let mut data = cell.data.lock();
+        let mut guard = stripe.data.lock();
         loop {
+            let CoreStripe { map, .. } = &mut *guard;
+            let data = map.get_or_insert_with(key, KeyData::default);
             let analysis = data.locks.analyze(tx.id, LockMode::Write, desired);
             if wait && !analysis.blocked_unfrozen.is_empty() {
-                if cell.changed.wait_until(&mut data, deadline).timed_out() {
+                if stripe.changed.wait_until(&mut guard, deadline).timed_out() {
                     return Err(TxError::aborted(AbortReason::LockTimeout { key }));
                 }
                 continue;
@@ -830,35 +821,26 @@ where
     }
 
     fn release_unfrozen_write_locks(&self, tx: &mut TxState) {
-        for key in tx.locked_keys() {
-            let has_writes = tx
-                .locks_on(key)
-                .map(|h| !h.write.is_empty())
-                .unwrap_or(false);
-            if !has_writes {
+        for (key, held) in tx.held.iter() {
+            if held.write.is_empty() {
                 continue;
             }
-            let cell = self.cell(key);
-            {
-                let mut data = cell.data.lock();
+            self.with_cell_notify(key, |data, _| {
                 data.locks
                     .release_unfrozen_range(tx.id, LockMode::Write, TsRange::all());
-            }
-            cell.notify();
+            });
         }
         tx.clear_write_locks();
     }
 
     fn latest_version_before(&self, key: Key, below: Timestamp) -> Result<Timestamp, TxError> {
-        let cell = self.cell(key);
-        let data = cell.data.lock();
-        match data.versions.latest_before(below) {
-            Ok((t, _)) => Ok(t),
-            Err(bound) => Err(TxError::aborted(AbortReason::VersionPurged {
-                key,
-                below: bound,
-            })),
-        }
+        let stripe = self.cells.stripe_for(key);
+        let guard = stripe.data.lock();
+        let result = match guard.map.get(key) {
+            Some(data) => data.versions.latest_before(below).map(|(t, _)| t),
+            None => Ok(Timestamp::ZERO),
+        };
+        result.map_err(|bound| TxError::aborted(AbortReason::VersionPurged { key, below: bound }))
     }
 }
 

@@ -1,7 +1,6 @@
 //! Per-transaction state.
 
 use mvtl_common::{Key, ProcessId, Timestamp, TsSet, TxId, TxStatus, TxnPin};
-use std::collections::HashMap;
 
 /// Locks a transaction holds on one key, as recorded on the transaction side.
 ///
@@ -24,6 +23,54 @@ impl HeldLocks {
     }
 }
 
+/// The per-key lock mirror of one transaction: a small linear-scan vector.
+///
+/// Transactions touch a handful of keys (the benchmark default is 4 ops), so
+/// a `Vec` probe beats a `HashMap` — no hashing, no bucket allocation, and
+/// the buffer's capacity is reused across the transaction's operations.
+#[derive(Debug, Clone, Default)]
+pub struct HeldMap {
+    entries: Vec<(Key, HeldLocks)>,
+}
+
+impl HeldMap {
+    /// Locks recorded for `key`, if any.
+    #[must_use]
+    pub fn get(&self, key: Key) -> Option<&HeldLocks> {
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, held)| held)
+    }
+
+    /// Exclusive access to the locks recorded for `key`, inserting an empty
+    /// record when absent.
+    fn entry_mut(&mut self, key: Key) -> &mut HeldLocks {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            return &mut self.entries[i].1;
+        }
+        self.entries.push((key, HeldLocks::default()));
+        &mut self.entries.last_mut().expect("entry just pushed").1
+    }
+
+    /// Iterates over `(key, locks)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, &HeldLocks)> {
+        self.entries.iter().map(|(k, held)| (*k, held))
+    }
+
+    /// Number of keys with recorded locks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no locks are recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// The policy-visible state of a transaction.
 ///
 /// This corresponds to the `tx` record of Algorithm 1 plus the per-policy
@@ -42,7 +89,7 @@ pub struct TxState {
     /// owns the value type).
     pub write_keys: Vec<Key>,
     /// Locks held per key, mirrored from the per-key cells.
-    pub held: HashMap<Key, HeldLocks>,
+    pub held: HeldMap,
     /// The candidate timestamps the policy is still considering
     /// (`tx.TS` for ε-clock/MVTIL, `PossTS` for MVTL-Pref).
     pub ts_set: TsSet,
@@ -72,9 +119,9 @@ impl TxState {
             id: TxId::fresh(),
             process,
             status: TxStatus::Active,
-            read_set: Vec::new(),
-            write_keys: Vec::new(),
-            held: HashMap::new(),
+            read_set: Vec::with_capacity(8),
+            write_keys: Vec::with_capacity(4),
+            held: HeldMap::default(),
             ts_set: TsSet::new(),
             start_ts: None,
             chosen_ts: None,
@@ -91,12 +138,17 @@ impl TxState {
         self.status == TxStatus::Active
     }
 
+    /// Records a committed read of `key` that observed `version`.
+    pub fn record_read(&mut self, key: Key, version: Timestamp) {
+        self.read_set.push((key, version));
+    }
+
     /// Records locks granted on `key`.
     pub fn record_read_locks(&mut self, key: Key, granted: &TsSet) {
         if granted.is_empty() {
             return;
         }
-        let held = self.held.entry(key).or_default();
+        let held = self.held.entry_mut(key);
         held.read = held.read.union(granted);
     }
 
@@ -105,14 +157,14 @@ impl TxState {
         if granted.is_empty() {
             return;
         }
-        let held = self.held.entry(key).or_default();
+        let held = self.held.entry_mut(key);
         held.write = held.write.union(granted);
     }
 
     /// Forgets the unfrozen write locks recorded for every key (mirror of a
     /// "release all write locks" step in a policy).
     pub fn clear_write_locks(&mut self) {
-        for held in self.held.values_mut() {
+        for (_, held) in &mut self.held.entries {
             held.write = TsSet::new();
         }
     }
@@ -120,13 +172,13 @@ impl TxState {
     /// Locks held on `key`, if any.
     #[must_use]
     pub fn locks_on(&self, key: Key) -> Option<&HeldLocks> {
-        self.held.get(&key)
+        self.held.get(key)
     }
 
     /// Every key on which the transaction holds (or held) locks.
     #[must_use]
     pub fn locked_keys(&self) -> Vec<Key> {
-        let mut keys: Vec<Key> = self.held.keys().copied().collect();
+        let mut keys: Vec<Key> = self.held.iter().map(|(k, _)| k).collect();
         keys.sort();
         keys
     }
@@ -156,7 +208,7 @@ impl<V> MvtlTransaction<V> {
     pub(crate) fn new(state: TxState) -> Self {
         MvtlTransaction {
             state,
-            write_values: Vec::new(),
+            write_values: Vec::with_capacity(4),
         }
     }
 
@@ -226,6 +278,18 @@ mod tests {
         let mut tx = TxState::new(ProcessId(0), None);
         tx.record_read_locks(Key(1), &TsSet::new());
         assert!(tx.locks_on(Key(1)).is_none());
+    }
+
+    #[test]
+    fn held_map_is_keyed_not_ordered() {
+        let mut tx = TxState::new(ProcessId(0), None);
+        let point = TsSet::from_point(Timestamp::at(2));
+        tx.record_read_locks(Key(7), &point);
+        tx.record_read_locks(Key(3), &point);
+        tx.record_read_locks(Key(7), &TsSet::from_point(Timestamp::at(4)));
+        assert_eq!(tx.held.len(), 2);
+        assert_eq!(tx.locked_keys(), vec![Key(3), Key(7)]);
+        assert!(tx.locks_on(Key(7)).unwrap().read.contains(Timestamp::at(4)));
     }
 
     #[test]

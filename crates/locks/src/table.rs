@@ -120,39 +120,40 @@ impl KeyLockState {
     /// part becomes frozen. Freezing timestamps the owner does not hold is a
     /// no-op (the generic algorithm only freezes what it acquired).
     pub fn freeze(&mut self, owner: TxId, mode: LockMode, range: TsRange) {
-        let mut new_entries = Vec::with_capacity(self.entries.len() + 2);
-        for entry in self.entries.drain(..) {
+        // In place: overwrite the covered slice of each matching entry with
+        // its frozen middle and append the unfrozen remainders at the end.
+        // Entry order carries no meaning, and the appended remainders are
+        // disjoint from `range` by construction, so they need no re-check.
+        let n = self.entries.len();
+        for i in 0..n {
+            let entry = self.entries[i];
             if entry.owner != owner || entry.mode != mode || entry.frozen {
-                new_entries.push(entry);
                 continue;
             }
-            match entry.range.intersection(&range) {
-                None => new_entries.push(entry),
-                Some(mid) => {
-                    if entry.range.start < mid.start {
-                        new_entries.push(LockEntry::new(
-                            owner,
-                            mode,
-                            TsRange::new(entry.range.start, mid.start.pred()),
-                        ));
-                    }
-                    new_entries.push(LockEntry {
-                        owner,
-                        mode,
-                        range: mid,
-                        frozen: true,
-                    });
-                    if entry.range.end > mid.end {
-                        new_entries.push(LockEntry::new(
-                            owner,
-                            mode,
-                            TsRange::new(mid.end.succ(), entry.range.end),
-                        ));
-                    }
-                }
+            let Some(mid) = entry.range.intersection(&range) else {
+                continue;
+            };
+            self.entries[i] = LockEntry {
+                owner,
+                mode,
+                range: mid,
+                frozen: true,
+            };
+            if entry.range.start < mid.start {
+                self.entries.push(LockEntry::new(
+                    owner,
+                    mode,
+                    TsRange::new(entry.range.start, mid.start.pred()),
+                ));
+            }
+            if entry.range.end > mid.end {
+                self.entries.push(LockEntry::new(
+                    owner,
+                    mode,
+                    TsRange::new(mid.end.succ(), entry.range.end),
+                ));
             }
         }
-        self.entries = new_entries;
     }
 
     /// Releases every unfrozen lock of `owner` (both modes). Frozen locks stay
@@ -165,33 +166,37 @@ impl KeyLockState {
     /// splitting entries as needed. Used e.g. when a read backs off after
     /// discovering a frozen write lock ("release read-locks acquired above").
     pub fn release_unfrozen_range(&mut self, owner: TxId, mode: LockMode, range: TsRange) {
-        let mut new_entries = Vec::with_capacity(self.entries.len() + 1);
-        for entry in self.entries.drain(..) {
+        // In place: swap-remove each covered entry and append its unfrozen
+        // remainders. After a removal the index is re-examined (it now holds
+        // the swapped-in entry); appended remainders are disjoint from
+        // `range`, so reaching them is a harmless no-op.
+        let mut i = 0;
+        while i < self.entries.len() {
+            let entry = self.entries[i];
             if entry.owner != owner || entry.mode != mode || entry.frozen {
-                new_entries.push(entry);
+                i += 1;
                 continue;
             }
-            match entry.range.intersection(&range) {
-                None => new_entries.push(entry),
-                Some(mid) => {
-                    if entry.range.start < mid.start {
-                        new_entries.push(LockEntry::new(
-                            owner,
-                            mode,
-                            TsRange::new(entry.range.start, mid.start.pred()),
-                        ));
-                    }
-                    if entry.range.end > mid.end {
-                        new_entries.push(LockEntry::new(
-                            owner,
-                            mode,
-                            TsRange::new(mid.end.succ(), entry.range.end),
-                        ));
-                    }
-                }
+            let Some(mid) = entry.range.intersection(&range) else {
+                i += 1;
+                continue;
+            };
+            self.entries.swap_remove(i);
+            if entry.range.start < mid.start {
+                self.entries.push(LockEntry::new(
+                    owner,
+                    mode,
+                    TsRange::new(entry.range.start, mid.start.pred()),
+                ));
+            }
+            if entry.range.end > mid.end {
+                self.entries.push(LockEntry::new(
+                    owner,
+                    mode,
+                    TsRange::new(mid.end.succ(), entry.range.end),
+                ));
             }
         }
-        self.entries = new_entries;
     }
 
     /// The set of timestamps `owner` holds in `mode` (frozen or not).
@@ -278,20 +283,26 @@ impl KeyLockState {
     /// Merge adjacent unfrozen entries of the same owner and mode to keep the
     /// representation compact (the point of interval compression).
     fn coalesce(&mut self, owner: TxId, mode: LockMode) {
-        let mut owned: Vec<LockEntry> = Vec::new();
-        let mut rest: Vec<LockEntry> = Vec::with_capacity(self.entries.len());
-        for e in self.entries.drain(..) {
+        let mut set = TsSet::new();
+        let mut count = 0usize;
+        for e in &self.entries {
             if e.owner == owner && e.mode == mode && !e.frozen {
-                owned.push(e);
-            } else {
-                rest.push(e);
+                set.insert_range(e.range);
+                count += 1;
             }
         }
-        let set = TsSet::from_ranges(owned.iter().map(|e| e.range));
-        for range in set.ranges() {
-            rest.push(LockEntry::new(owner, mode, *range));
+        if count <= 1 || set.ranges().len() == count {
+            // Already compact: `acquire` subtracts what the owner holds, so
+            // entries of one owner/mode are disjoint; when none of them merge
+            // (no two touch) the representation cannot shrink. This is the
+            // common case and touches no entry.
+            return;
         }
-        self.entries = rest;
+        self.entries
+            .retain(|e| !(e.owner == owner && e.mode == mode && !e.frozen));
+        for range in set.ranges() {
+            self.entries.push(LockEntry::new(owner, mode, *range));
+        }
     }
 }
 

@@ -53,7 +53,7 @@
 #![warn(missing_docs)]
 
 use mvtl_baselines::{MvtoStore, TwoPhaseLockingStore};
-use mvtl_clock::GlobalClock;
+use mvtl_clock::{BatchedClock, GlobalClock};
 use mvtl_common::{Engine, TempDir, Timestamp};
 use mvtl_core::policy::{
     EpsilonPolicy, GhostbusterPolicy, LockingPolicy, MvtilPolicy, PessimisticPolicy, PrefPolicy,
@@ -280,6 +280,9 @@ impl fmt::Display for EngineSpec {
 pub const DEFAULT_DELTA: u64 = 100_000;
 /// Default ε (clock-synchronization bound, in ticks) for `mvtl-epsilon-clock`.
 pub const DEFAULT_EPSILON: u64 = 8;
+/// Default block size (timestamps per refill) when a spec sets
+/// `clock=batched` but omits `clock_block`.
+pub const DEFAULT_CLOCK_BLOCK: u64 = 64;
 /// Default 2PL deadlock-resolution timeout in milliseconds.
 pub const DEFAULT_2PL_TIMEOUT_MS: u64 = 10;
 /// Default partition count for the `sharded` engine.
@@ -337,7 +340,13 @@ pub fn build(spec: &str) -> Result<Box<dyn Engine<u64>>, SpecError> {
 /// Builds the engine described by `spec` for an arbitrary value type.
 ///
 /// Shared parameters for every engine: `clock_start` (initial reading of the
-/// global clock, default 0), `gc_ms` (background GC sweep interval in
+/// global clock, default 0), `clock` (`global` | `batched`, default `global`;
+/// `batched` hands each process blocks of timestamps drawn from a shared
+/// allocator and is accepted only for the MVTIL engines, the one policy
+/// family that assumes nothing about clock order)
+/// with `clock_block` (timestamps per refill, default
+/// [`DEFAULT_CLOCK_BLOCK`], max [`mvtl_clock::MAX_CLOCK_BLOCK`]; requires
+/// `clock=batched`), `gc_ms` (background GC sweep interval in
 /// milliseconds; absent — the default — means no GC thread) and `gc_lag_ms`
 /// (purge-bound lag behind the clock, default [`DEFAULT_GC_LAG_MS`]; requires
 /// `gc_ms`). With `gc_ms` set the returned engine is wrapped in a
@@ -383,7 +392,7 @@ where
     let start = wal
         .max_commit_ts()
         .map_or(base, |ts| base.max(ts.value + 1));
-    let clock = Arc::new(GlobalClock::starting_at(start));
+    let clock = take_clock(&mut parsed, start)?;
     let gc = take_gc_config(&mut parsed)?;
     let engine: Box<dyn Engine<V>> = match parsed.name.as_str() {
         "mvtil-early" | "mvtil-late" => {
@@ -410,14 +419,14 @@ where
         }
         "mvtl-prio" => mvtl_engine(PrioPolicy::new(), clock, &mut parsed, gc, wal)?,
         "mvtl-pessimistic" => mvtl_engine(PessimisticPolicy::new(), clock, &mut parsed, gc, wal)?,
-        "mvto+" => wal_then_gc(MvtoStore::<V>::new(Arc::clone(&clock) as _), clock, gc, wal)?,
+        "mvto+" => wal_then_gc(MvtoStore::<V>::new(Arc::clone(&clock)), clock, gc, wal)?,
         "2pl" => {
             let timeout_ms = parsed
                 .take_parsed("timeout_ms")?
                 .unwrap_or(DEFAULT_2PL_TIMEOUT_MS);
             wal_then_gc(
                 TwoPhaseLockingStore::<V>::new(
-                    Arc::clone(&clock) as _,
+                    Arc::clone(&clock),
                     Duration::from_millis(timeout_ms),
                 ),
                 clock,
@@ -434,6 +443,57 @@ where
     };
     parsed.finish()?;
     Ok(engine)
+}
+
+/// Consumes the `clock` / `clock_block` parameters and builds the spec's
+/// clock source, starting at `start` (past any recovered commit).
+///
+/// `clock=global` (the default) is the strictly monotonic shared counter.
+/// `clock=batched` hands each process blocks of `clock_block` timestamps
+/// (default [`DEFAULT_CLOCK_BLOCK`]) drawn from a shared allocator — one
+/// contended atomic op per block instead of per transaction. A batched clock
+/// is unique and per-process monotonic but **not globally ordered**, which
+/// only the MVTIL engines tolerate (their interval policy assumes nothing
+/// about clock synchronization, §8.1); every other engine would suffer the
+/// §5.3 serial aborts, so the spec is rejected for them.
+fn take_clock(
+    parsed: &mut EngineSpec,
+    start: u64,
+) -> Result<Arc<dyn mvtl_clock::ClockSource>, SpecError> {
+    let mode = parsed.take("clock");
+    let block = parsed.take_parsed::<u64>("clock_block")?;
+    if block.is_some() && mode.as_deref() != Some("batched") {
+        return Err(SpecError::Malformed {
+            detail: "clock_block requires clock=batched (only a batched clock draws blocks)"
+                .to_string(),
+        });
+    }
+    match mode.as_deref() {
+        None | Some("global") => Ok(Arc::new(GlobalClock::starting_at(start))),
+        Some("batched") => {
+            if !matches!(parsed.name.as_str(), "mvtil-early" | "mvtil-late") {
+                return Err(SpecError::Malformed {
+                    detail: format!(
+                        "clock=batched only applies to the MVTIL engines, not {}: \
+                         a batched clock is not globally monotonic",
+                        parsed.name
+                    ),
+                });
+            }
+            let block = block.unwrap_or(DEFAULT_CLOCK_BLOCK);
+            if block == 0 || block > mvtl_clock::MAX_CLOCK_BLOCK {
+                return Err(SpecError::InvalidValue {
+                    param: "clock_block".to_string(),
+                    value: block.to_string(),
+                });
+            }
+            Ok(Arc::new(BatchedClock::starting_at(start, block)))
+        }
+        Some(other) => Err(SpecError::InvalidValue {
+            param: "clock".to_string(),
+            value: other.to_string(),
+        }),
+    }
 }
 
 /// Boxes `store` as a `dyn Engine`, attaching a background [`GcEngine`]
@@ -649,7 +709,7 @@ where
 /// attached by [`build_for`].
 fn mvtl_engine<V, P>(
     policy: P,
-    clock: Arc<GlobalClock>,
+    clock: Arc<dyn mvtl_clock::ClockSource>,
     parsed: &mut EngineSpec,
     gc: Option<GcConfig>,
     wal: WalHandles<V>,
@@ -673,7 +733,7 @@ where
     // The store config is the source of truth for the service from here on:
     // the spawned sweeper's configuration is read back out of it.
     let service = GcConfig::from_store_config(&config);
-    let store = MvtlStore::<V, P>::new(policy, Arc::clone(&clock) as _, config);
+    let store = MvtlStore::<V, P>::new(policy, Arc::clone(&clock), config);
     wal_then_gc(store, clock, service, wal)
 }
 
@@ -702,7 +762,7 @@ where
 /// and schedules whose faults can outlast the coordinator's patience —
 /// `drop`/`stall` clauses — arm [`DEFAULT_COMMIT_TIMEOUT_MS`] automatically).
 fn sharded_engine<V>(
-    clock: Arc<GlobalClock>,
+    clock: Arc<dyn mvtl_clock::ClockSource>,
     parsed: &mut EngineSpec,
     gc: Option<GcConfig>,
     wal: WalHandles<V>,
@@ -774,7 +834,6 @@ where
             .with_gc_lag(gc.lag);
     }
     let service = GcConfig::from_store_config(&config);
-    let clock: Arc<dyn mvtl_clock::ClockSource> = clock;
     let backend = |policy_for: &dyn Fn() -> Arc<dyn ShardBackend<V>>| {
         (0..count).map(|_| policy_for()).collect::<Vec<_>>()
     };
@@ -1051,6 +1110,88 @@ mod tests {
             build("mvtil-early?gc_ms=soon").map(|_| ()),
             Err(SpecError::InvalidValue { .. })
         ));
+    }
+
+    #[test]
+    fn batched_clock_specs_build_for_mvtil_and_round_trip() {
+        use mvtl_common::{EngineExt, Key, ProcessId};
+        for spec in [
+            "mvtil-early?clock=batched",
+            "mvtil-late?clock=batched&clock_block=16",
+            "mvtil-early?clock=batched&clock_block=1&delta=1000",
+            "mvtil-early?clock=global",
+        ] {
+            let engine = build(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            // Two processes write and read back through the batched clock:
+            // blocks hand out unique timestamps, so both commits land.
+            let mut w = engine.begin(ProcessId(0));
+            w.write(Key(1), 11).unwrap();
+            w.commit()
+                .unwrap_or_else(|e| panic!("{spec}: writer aborted: {e}"));
+            let mut r = engine.begin(ProcessId(1));
+            assert_eq!(r.read(Key(1)).unwrap(), Some(11), "{spec}");
+            r.commit()
+                .unwrap_or_else(|e| panic!("{spec}: reader aborted: {e}"));
+        }
+    }
+
+    #[test]
+    fn batched_clock_is_rejected_for_monotonicity_dependent_engines() {
+        // MVTL-TO, MVTO+, 2PL, the ε-clock policy and the sharded coordinator
+        // all reason from a globally ordered clock; a batched clock would
+        // reintroduce the §5.3 serial aborts silently, so the spec is refused.
+        for spec in [
+            "mvtl-to?clock=batched",
+            "mvto+?clock=batched",
+            "2pl?clock=batched",
+            "mvtl-epsilon-clock?clock=batched",
+            "sharded?inner=mvtil-early&clock=batched",
+        ] {
+            assert!(
+                matches!(build(spec).map(|_| ()), Err(SpecError::Malformed { .. })),
+                "{spec} must be rejected"
+            );
+        }
+        // Orphan / malformed clock knobs.
+        assert!(matches!(
+            build("mvtil-early?clock_block=16").map(|_| ()),
+            Err(SpecError::Malformed { .. })
+        ));
+        assert!(matches!(
+            build("mvtil-early?clock=batched&clock_block=0").map(|_| ()),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            build("mvtil-early?clock=batched&clock_block=100000").map(|_| ()),
+            Err(SpecError::InvalidValue { .. })
+        ));
+        assert!(matches!(
+            build("mvtil-early?clock=sundial").map(|_| ()),
+            Err(SpecError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn batched_clock_starts_past_recovered_commits() {
+        use mvtl_common::{EngineExt, Key, ProcessId};
+        let dir = TempDir::new("batched-clock-wal");
+        let spec = format!(
+            "mvtil-early?clock=batched&clock_block=8&wal={}",
+            dir.path().display()
+        );
+        {
+            let engine = build(&spec).unwrap();
+            let mut tx = engine.begin(ProcessId(0));
+            tx.write(Key(7), 70).unwrap();
+            tx.commit().unwrap();
+        }
+        // Reopen: recovery floors the batched clock past the logged commit,
+        // so the rebuilt engine orders after the recovered state.
+        let engine = build(&spec).unwrap();
+        let mut tx = engine.begin(ProcessId(0));
+        assert_eq!(tx.read(Key(7)).unwrap(), Some(70));
+        tx.write(Key(7), 71).unwrap();
+        tx.commit().unwrap();
     }
 
     #[test]

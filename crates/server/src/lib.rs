@@ -41,7 +41,7 @@
 
 pub mod client;
 pub mod driver;
-pub mod hist;
+pub use mvtl_common::hist;
 pub mod server;
 pub mod wire;
 

@@ -16,8 +16,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod chain;
+pub mod hash;
+mod smap;
 mod stats;
+mod stripe;
 
+pub use arena::{ArenaChain, ChainArena, INLINE_VERSIONS};
 pub use chain::{Version, VersionChain};
+pub use smap::StripeMap;
 pub use stats::VersionStats;
+pub use stripe::{Stripe, StripedTable};

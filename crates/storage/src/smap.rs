@@ -1,0 +1,272 @@
+//! An open-addressed key → state map, the storage inside one stripe.
+//!
+//! Replaces the `HashMap<Key, Arc<KeyCell>>` shards: entries live *inline* in
+//! the probe table (no per-key `Arc`, no per-read refcount traffic), lookups
+//! are one multiplicative hash plus a short linear probe, and deletion uses
+//! backward shifting so the table never accumulates tombstones. The map is a
+//! plain data structure with no internal synchronization — the owning stripe
+//! guards it with one latch (see [`StripedTable`](crate::StripedTable)).
+
+use crate::hash::key_hash;
+use mvtl_common::Key;
+
+/// Initial slot count of an empty map; must be a power of two.
+const INITIAL_SLOTS: usize = 16;
+
+/// An open-addressed map from [`Key`] to per-key state `S`.
+///
+/// Linear probing over a power-of-two slot array, growing at ~3/4 load. The
+/// probe sequence uses the low bits of [`key_hash`]; stripe selection uses the
+/// high bits, so the two levels of routing stay independent.
+#[derive(Debug)]
+pub struct StripeMap<S> {
+    slots: Vec<Option<(Key, S)>>,
+    len: usize,
+}
+
+impl<S> Default for StripeMap<S> {
+    fn default() -> Self {
+        StripeMap::new()
+    }
+}
+
+impl<S> StripeMap<S> {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(INITIAL_SLOTS, || None);
+        StripeMap { slots, len: 0 }
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    #[inline]
+    fn home(&self, key: Key) -> usize {
+        (key_hash(key) as usize) & self.mask()
+    }
+
+    /// The slot index holding `key`, if present.
+    #[inline]
+    fn probe(&self, key: Key) -> Option<usize> {
+        let mask = self.mask();
+        let mut i = self.home(key);
+        loop {
+            match &self.slots[i] {
+                None => return None,
+                Some((k, _)) if *k == key => return Some(i),
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Shared access to the state of `key`.
+    #[must_use]
+    pub fn get(&self, key: Key) -> Option<&S> {
+        self.probe(key)
+            .map(|i| &self.slots[i].as_ref().expect("probed slot is live").1)
+    }
+
+    /// Exclusive access to the state of `key`.
+    pub fn get_mut(&mut self, key: Key) -> Option<&mut S> {
+        self.probe(key)
+            .map(|i| &mut self.slots[i].as_mut().expect("probed slot is live").1)
+    }
+
+    /// Exclusive access to the state of `key`, inserting `make()` first when
+    /// the key is absent.
+    pub fn get_or_insert_with(&mut self, key: Key, make: impl FnOnce() -> S) -> &mut S {
+        if self.probe(key).is_none() {
+            self.grow_if_needed();
+            let mask = self.mask();
+            let mut i = self.home(key);
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Some((key, make()));
+            self.len += 1;
+        }
+        let i = self.probe(key).expect("entry just ensured");
+        &mut self.slots[i].as_mut().expect("probed slot is live").1
+    }
+
+    /// Removes and returns the state of `key`. Backward-shifts the following
+    /// probe run so later lookups never cross a stale hole.
+    pub fn remove(&mut self, key: Key) -> Option<S> {
+        let mut hole = self.probe(key)?;
+        let (_, state) = self.slots[hole].take().expect("probed slot is live");
+        self.len -= 1;
+        let mask = self.mask();
+        let mut i = hole;
+        loop {
+            i = (i + 1) & mask;
+            let Some((k, _)) = &self.slots[i] else { break };
+            let home = self.home(*k);
+            // The entry at `i` may fill the hole only if its home position
+            // does not lie strictly inside the cyclic interval (hole, i].
+            if (i.wrapping_sub(home) & mask) >= (i.wrapping_sub(hole) & mask) {
+                self.slots[hole] = self.slots[i].take();
+                hole = i;
+            }
+        }
+        Some(state)
+    }
+
+    /// Iterates over `(key, &state)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, &S)> {
+        self.slots
+            .iter()
+            .filter_map(|slot| slot.as_ref().map(|(k, s)| (*k, s)))
+    }
+
+    /// Iterates over `(key, &mut state)` in unspecified order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Key, &mut S)> {
+        self.slots
+            .iter_mut()
+            .filter_map(|slot| slot.as_mut().map(|(k, s)| (*k, s)))
+    }
+
+    /// Keeps only the entries for which `keep` returns true, handing each
+    /// removed state to the caller via the return of `keep` being false.
+    pub fn retain(&mut self, mut keep: impl FnMut(Key, &mut S) -> bool) {
+        // Collect doomed keys first: backward-shift deletion moves entries,
+        // so removing while iterating slot-by-slot would skip entries.
+        let doomed: Vec<Key> = self
+            .slots
+            .iter_mut()
+            .filter_map(|slot| match slot {
+                Some((k, s)) => {
+                    if keep(*k, s) {
+                        None
+                    } else {
+                        Some(*k)
+                    }
+                }
+                None => None,
+            })
+            .collect();
+        for key in doomed {
+            self.remove(key);
+        }
+    }
+
+    fn grow_if_needed(&mut self) {
+        if (self.len + 1) * 4 < self.slots.len() * 3 {
+            return;
+        }
+        let new_cap = self.slots.len() * 2;
+        let mut new_slots: Vec<Option<(Key, S)>> = Vec::new();
+        new_slots.resize_with(new_cap, || None);
+        let old = std::mem::replace(&mut self.slots, new_slots);
+        for (key, state) in old.into_iter().flatten() {
+            let mask = self.mask();
+            let mut i = (key_hash(key) as usize) & mask;
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Some((key, state));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut map: StripeMap<u64> = StripeMap::new();
+        for k in 0..200u64 {
+            *map.get_or_insert_with(Key(k), || 0) = k * 10;
+        }
+        assert_eq!(map.len(), 200);
+        for k in 0..200u64 {
+            assert_eq!(map.get(Key(k)), Some(&(k * 10)));
+        }
+        assert_eq!(map.get(Key(999)), None);
+        for k in (0..200u64).step_by(2) {
+            assert_eq!(map.remove(Key(k)), Some(k * 10));
+        }
+        assert_eq!(map.len(), 100);
+        for k in 0..200u64 {
+            if k % 2 == 0 {
+                assert_eq!(map.get(Key(k)), None);
+            } else {
+                assert_eq!(map.get(Key(k)), Some(&(k * 10)), "key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn get_or_insert_returns_existing_entry() {
+        let mut map: StripeMap<String> = StripeMap::new();
+        map.get_or_insert_with(Key(1), || "first".to_string());
+        let v = map.get_or_insert_with(Key(1), || "second".to_string());
+        assert_eq!(v, "first");
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn backward_shift_keeps_colliding_runs_reachable() {
+        // Craft keys that all land in a short probe run, then delete from the
+        // middle: the survivors must all remain findable.
+        let mut map: StripeMap<u64> = StripeMap::new();
+        let colliders: Vec<Key> = (0..40_000u64)
+            .map(Key)
+            .filter(|k| (key_hash(*k) as usize) & (INITIAL_SLOTS - 1) == 3)
+            .take(6)
+            .collect();
+        assert!(colliders.len() >= 4, "need colliding keys for this test");
+        for (i, k) in colliders.iter().enumerate() {
+            *map.get_or_insert_with(*k, || 0) = i as u64;
+        }
+        map.remove(colliders[1]);
+        map.remove(colliders[0]);
+        for (i, k) in colliders.iter().enumerate().skip(2) {
+            assert_eq!(map.get(*k), Some(&(i as u64)), "collider {i}");
+        }
+    }
+
+    #[test]
+    fn retain_drops_and_keeps() {
+        let mut map: StripeMap<u64> = StripeMap::new();
+        for k in 0..50u64 {
+            *map.get_or_insert_with(Key(k), || 0) = k;
+        }
+        map.retain(|k, _| k.0 % 3 == 0);
+        assert_eq!(map.len(), 17);
+        assert!(map.iter().all(|(k, _)| k.0 % 3 == 0));
+        assert_eq!(map.get(Key(3)), Some(&3));
+        assert_eq!(map.get(Key(4)), None);
+    }
+
+    #[test]
+    fn iter_mut_visits_every_entry_once() {
+        let mut map: StripeMap<u64> = StripeMap::new();
+        for k in 0..64u64 {
+            *map.get_or_insert_with(Key(k), || 0) = 1;
+        }
+        let mut total = 0u64;
+        for (_, v) in map.iter_mut() {
+            total += *v;
+            *v += 1;
+        }
+        assert_eq!(total, 64);
+        assert!(map.iter().all(|(_, v)| *v == 2));
+    }
+}

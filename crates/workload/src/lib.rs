@@ -41,8 +41,9 @@ pub mod spec;
 
 pub use figures::{FigureRow, FigureTable, Scale};
 pub use report::{
-    bench_report, check_bench_report, BenchReport, BenchRow, ReportOptions, BENCH_SCHEMA_VERSION,
-    MODE_CLOSED, MODE_OPEN,
+    bench_report, check_bench_report, compare_to_baseline, confirm_regressions, run_grid_cell,
+    BaselineComparison, BaselineDelta, BenchReport, BenchRow, ReportOptions, BASELINE_ALLOWED_DROP,
+    BENCH_SCHEMA_VERSION, MODE_CLOSED, MODE_OPEN,
 };
 pub use runner::{execute_template, run_closed_loop, RunnerMetrics, RunnerOptions};
 pub use soak::{gc_soak, SoakOptions, SoakReport};

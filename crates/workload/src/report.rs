@@ -10,11 +10,11 @@
 //! exact inverses), which is what CI uploads as `BENCH_smoke.json` and what
 //! future changes diff their numbers against.
 //!
-//! The JSON schema (version 2):
+//! The JSON schema (version 3):
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "name": "smoke",
 //!   "seed": 42,
 //!   "wall_secs": 12.5,
@@ -33,6 +33,7 @@
 //!       "shed": 0,
 //!       "elapsed_secs": 0.08,
 //!       "throughput_tps": 15425.0,
+//!       "round_spread": 0.93,
 //!       "abort_rate": 0.043,
 //!       "p50_us": 180,
 //!       "p99_us": 950,
@@ -50,8 +51,18 @@
 //! closed-loop rows (`"closed"`) from open-loop rows measured over TCP by the
 //! `mvtl-server` driver (`"open"`); `arrivals`, `offered_tps` and `shed`
 //! describe the open-loop schedule, and `p50_us`/`p99_us`/`p999_us` carry the
-//! client-observed latency quantiles (zero on closed rows, which measure no
-//! per-transaction latency).
+//! client-observed latency quantiles.
+//!
+//! Version 3 reinterprets the quantile columns on closed rows: the closed-loop
+//! runner now records per-attempt latency (begin through commit or abort)
+//! through the same histogram the open-loop driver uses, so `p50_us` /
+//! `p99_us` / `p999_us` are populated on **every** row. A row that committed
+//! transactions but reports all-zero quantiles is rejected at parse time —
+//! that shape only arises from the pre-v3 bug where closed rows measured no
+//! latency at all. Version 3 also adds `round_spread`: closed cells run
+//! best-of-N rounds, `throughput_tps` is the best round, and `round_spread`
+//! is the slowest round as a fraction of it — the volatility the baseline
+//! gate widens its tolerance by (see [`BaselineDelta::required_ratio`]).
 
 use crate::runner::{run_closed_loop, RunnerOptions};
 use crate::spec::{KeyDist, WorkloadSpec};
@@ -63,7 +74,7 @@ use std::time::{Duration, Instant};
 /// Version of the `BENCH_*.json` schema written by [`BenchReport`]. Bump it
 /// when a field is renamed, removed or reinterpreted; adding fields is
 /// backward compatible.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// Measurement mode of a closed-loop row: in-process, throughput-oriented.
 pub const MODE_CLOSED: &str = "closed";
@@ -103,11 +114,21 @@ pub struct BenchRow {
     pub shed: u64,
     /// Measured wall-clock duration of the run in seconds.
     pub elapsed_secs: f64,
-    /// Commits per second.
+    /// Commits per second (of the best round — closed cells run best-of-N,
+    /// see [`run_grid_cell`]).
     pub throughput_tps: f64,
+    /// Slowest-to-fastest round throughput ratio of the cell's best-of-N
+    /// measurement, in `0.0..=1.0`; `1.0` means a single round or perfectly
+    /// repeatable rounds. The baseline gate reads this off the *blessed*
+    /// artifact to widen its tolerance on cells whose own bless run could
+    /// not reproduce its best number: a cell is held to within
+    /// [`BASELINE_ALLOWED_DROP`] of its slowest blessed round, not its
+    /// luckiest. Open-loop rows are single measurements and record `1.0`.
+    pub round_spread: f64,
     /// Fraction of attempts that aborted.
     pub abort_rate: f64,
-    /// Median client-observed latency in microseconds (open rows; 0 closed).
+    /// Median per-attempt latency in microseconds: arrival-to-completion on
+    /// open rows, begin-to-resolution on closed rows.
     pub p50_us: u64,
     /// 99th-percentile client-observed latency in microseconds.
     pub p99_us: u64,
@@ -142,6 +163,7 @@ impl BenchRow {
                 "throughput_tps".to_string(),
                 Value::from(self.throughput_tps),
             ),
+            ("round_spread".to_string(), Value::from(self.round_spread)),
             ("abort_rate".to_string(), Value::from(self.abort_rate)),
             ("p50_us".to_string(), Value::from(self.p50_us)),
             ("p99_us".to_string(), Value::from(self.p99_us)),
@@ -157,7 +179,7 @@ impl BenchRow {
     }
 
     fn from_json(value: &Value) -> Result<BenchRow, String> {
-        Ok(BenchRow {
+        let row = BenchRow {
             spec: req_str(value, "spec")?,
             engine: req_str(value, "engine")?,
             mode: req_str(value, "mode")?,
@@ -171,6 +193,7 @@ impl BenchRow {
             shed: req_u64(value, "shed")?,
             elapsed_secs: req_f64(value, "elapsed_secs")?,
             throughput_tps: req_f64(value, "throughput_tps")?,
+            round_spread: req_f64(value, "round_spread")?,
             abort_rate: req_f64(value, "abort_rate")?,
             p50_us: req_u64(value, "p50_us")?,
             p99_us: req_u64(value, "p99_us")?,
@@ -179,7 +202,24 @@ impl BenchRow {
             versions: req_u64(value, "versions")? as usize,
             purged_versions: req_u64(value, "purged_versions")? as usize,
             keys: req_u64(value, "keys")? as usize,
-        })
+        };
+        // Schema-v3 invariant: a row that committed work measured latency.
+        // All-zero quantiles on a nonempty row are the pre-v3 closed-loop bug
+        // (no latency recorded at all), not a legitimate measurement.
+        if !(0.0..=1.0).contains(&row.round_spread) {
+            return Err(format!(
+                "row {:?} ({}, {}, batch {}) has round_spread {} outside 0..=1",
+                row.spec, row.mode, row.dist, row.batch, row.round_spread
+            ));
+        }
+        if row.committed > 0 && row.p50_us == 0 && row.p99_us == 0 && row.p999_us == 0 {
+            return Err(format!(
+                "row {:?} ({}, {}, batch {}) committed {} transactions but reports \
+                 all-zero latency quantiles",
+                row.spec, row.mode, row.dist, row.batch, row.committed
+            ));
+        }
+        Ok(row)
     }
 }
 
@@ -405,6 +445,24 @@ impl ReportOptions {
         }
     }
 
+    /// Rounds per grid cell; the row keeps the best round by throughput.
+    ///
+    /// Closed-loop capacity noise is one-sided — a busy runner, a timeout
+    /// pile-up in the lock-wait engines (2PL, pessimistic MVTL) or a GC-less
+    /// version-chain buildup only ever *lower* a round — so best-of-N is the
+    /// stable capacity estimate. The lock-wait engines are the binding case:
+    /// one 100ms wait timeout wipes out most of an 80ms round, making single
+    /// rounds bimodal and far outside the baseline gate's 20% tolerance;
+    /// with six rounds both the blessed baseline and the CI run concentrate
+    /// on the timeout-free mode. `Paper` cells are long enough to be stable
+    /// on their own.
+    fn rounds(&self) -> u64 {
+        match self.scale {
+            Scale::Smoke | Scale::Quick => 6,
+            Scale::Paper => 1,
+        }
+    }
+
     /// The batch sizes actually swept: sorted and deduplicated, so a
     /// repeated entry in `batches` neither runs a cell twice nor makes
     /// [`check_bench_report`]'s expected cell count disagree with the grid
@@ -434,48 +492,7 @@ pub fn bench_report(name: &str, options: &ReportOptions) -> BenchReport {
     for dist in &options.dists {
         for &batch in &batches {
             for spec in mvtl_registry::all_specs() {
-                let engine = mvtl_registry::build(spec)
-                    .unwrap_or_else(|e| panic!("bench-report spec {spec:?} must build: {e}"));
-                let metrics = run_closed_loop(
-                    engine.as_ref(),
-                    &RunnerOptions {
-                        clients: options.clients,
-                        duration: options.duration(),
-                        spec: WorkloadSpec::new(8, 0.25, 512)
-                            .with_dist(*dist)
-                            .with_batch(batch),
-                        seed: options.seed,
-                    },
-                    |v| v,
-                );
-                let attempts = metrics.committed + metrics.aborted;
-                rows.push(BenchRow {
-                    spec: spec.to_string(),
-                    engine: EngineSpec::base_name(spec).to_string(),
-                    mode: MODE_CLOSED.to_string(),
-                    arrivals: "-".to_string(),
-                    dist: dist.label(),
-                    batch,
-                    clients: options.clients,
-                    offered_tps: 0.0,
-                    committed: metrics.committed,
-                    aborted: metrics.aborted,
-                    shed: 0,
-                    elapsed_secs: metrics.elapsed_secs,
-                    throughput_tps: metrics.throughput_tps(),
-                    abort_rate: if attempts == 0 {
-                        0.0
-                    } else {
-                        metrics.aborted as f64 / attempts as f64
-                    },
-                    p50_us: 0,
-                    p99_us: 0,
-                    p999_us: 0,
-                    locks: metrics.stats_end.lock_entries,
-                    versions: metrics.stats_end.versions,
-                    purged_versions: metrics.stats_end.purged_versions,
-                    keys: metrics.stats_end.keys,
-                });
+                rows.push(run_grid_cell(spec, *dist, batch, options));
             }
         }
     }
@@ -485,6 +502,87 @@ pub fn bench_report(name: &str, options: &ReportOptions) -> BenchReport {
         seed: options.seed,
         wall_secs: started.elapsed().as_secs_f64(),
         rows,
+    }
+}
+
+/// Runs one closed-loop grid cell and returns its row.
+///
+/// Best-of-N ([`ReportOptions`] rounds): every round gets a fresh engine —
+/// version-chain state must not carry over between rounds — and a derived
+/// seed; the fastest round is the cell's capacity estimate. The baseline
+/// gate calls this again for cells that appear regressed (see
+/// [`confirm_regressions`]).
+///
+/// # Panics
+///
+/// Panics when `spec` fails to build, like [`bench_report`].
+#[must_use]
+pub fn run_grid_cell(spec: &str, dist: KeyDist, batch: usize, options: &ReportOptions) -> BenchRow {
+    let measured: Vec<_> = (0..options.rounds())
+        .map(|round| {
+            let engine = mvtl_registry::build(spec)
+                .unwrap_or_else(|e| panic!("bench-report spec {spec:?} must build: {e}"));
+            run_closed_loop(
+                engine.as_ref(),
+                &RunnerOptions {
+                    clients: options.clients,
+                    duration: options.duration(),
+                    spec: WorkloadSpec::new(8, 0.25, 512)
+                        .with_dist(dist)
+                        .with_batch(batch),
+                    seed: options.seed ^ (round << 32),
+                },
+                |v| v,
+            )
+        })
+        .collect();
+    let slowest_tps = measured
+        .iter()
+        .map(|m| m.throughput_tps())
+        .fold(f64::INFINITY, f64::min);
+    let metrics = measured
+        .into_iter()
+        .max_by(|a, b| {
+            a.throughput_tps()
+                .partial_cmp(&b.throughput_tps())
+                .expect("throughput is never NaN")
+        })
+        .expect("at least one round per cell");
+    // How repeatable the rounds were: the baseline gate widens its tolerance
+    // by this factor so a volatile cell is not held to its luckiest round.
+    let round_spread = if metrics.throughput_tps() > 0.0 {
+        (slowest_tps / metrics.throughput_tps()).clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+    let attempts = metrics.committed + metrics.aborted;
+    BenchRow {
+        spec: spec.to_string(),
+        engine: EngineSpec::base_name(spec).to_string(),
+        mode: MODE_CLOSED.to_string(),
+        arrivals: "-".to_string(),
+        dist: dist.label(),
+        batch,
+        clients: options.clients,
+        offered_tps: 0.0,
+        committed: metrics.committed,
+        aborted: metrics.aborted,
+        shed: 0,
+        elapsed_secs: metrics.elapsed_secs,
+        throughput_tps: metrics.throughput_tps(),
+        round_spread,
+        abort_rate: if attempts == 0 {
+            0.0
+        } else {
+            metrics.aborted as f64 / attempts as f64
+        },
+        p50_us: metrics.latency.p50(),
+        p99_us: metrics.latency.p99(),
+        p999_us: metrics.latency.p999(),
+        locks: metrics.stats_end.lock_entries,
+        versions: metrics.stats_end.versions,
+        purged_versions: metrics.stats_end.purged_versions,
+        keys: metrics.stats_end.keys,
     }
 }
 
@@ -513,8 +611,264 @@ pub fn check_bench_report(report: &BenchReport, options: &ReportOptions) {
                 row.dist,
                 row.batch
             );
+            assert!(
+                row.p50_us > 0 || row.p99_us > 0 || row.p999_us > 0,
+                "engine {spec:?} committed work but measured no latency \
+                 (dist {}, batch {})",
+                row.dist,
+                row.batch
+            );
         }
     }
+}
+
+/// Fraction of closed-loop throughput a cell may lose against the blessed
+/// baseline before [`compare_to_baseline`] flags it: the CI perf gate fails
+/// on a >20% drop. Wide enough to absorb shared-runner noise at smoke scale,
+/// tight enough that a structural regression (an accidental allocation on the
+/// hot path, a lock split gone wrong) cannot hide.
+pub const BASELINE_ALLOWED_DROP: f64 = 0.20;
+
+/// One matched cell of a baseline comparison: the same `(spec, engine, mode,
+/// dist, batch, clients)` grid cell in both reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineDelta {
+    /// The full engine spec of the cell.
+    pub spec: String,
+    /// Key-distribution label.
+    pub dist: String,
+    /// Batch size of the cell.
+    pub batch: usize,
+    /// Client threads of the cell.
+    pub clients: usize,
+    /// Closed-loop throughput of the blessed baseline (its best round).
+    pub baseline_tps: f64,
+    /// [`BenchRow::round_spread`] of the blessed baseline cell: how much of
+    /// its best number the bless run itself could reproduce on its slowest
+    /// round.
+    pub baseline_spread: f64,
+    /// Closed-loop throughput of the current run.
+    pub current_tps: f64,
+}
+
+impl BaselineDelta {
+    /// `current / baseline` — above 1.0 is a speedup.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.baseline_tps <= 0.0 {
+            1.0
+        } else {
+            self.current_tps / self.baseline_tps
+        }
+    }
+
+    /// The ratio this cell must keep to pass the gate:
+    /// `(1 - allowed_drop) * baseline_spread`.
+    ///
+    /// A cell is held to within `allowed_drop` of what its own bless run
+    /// could *reproducibly* achieve — its slowest blessed round — rather
+    /// than its luckiest. For a stable cell (`spread ≈ 1`) that is the plain
+    /// 20% rule; for a timeout-quantized lock-wait cell whose bless rounds
+    /// legitimately swing 2×, the floor widens by exactly the volatility the
+    /// baseline itself demonstrated, so the gate cannot flap on noise the
+    /// blessed artifact already documents.
+    #[must_use]
+    pub fn required_ratio(&self, allowed_drop: f64) -> f64 {
+        (1.0 - allowed_drop) * self.baseline_spread.clamp(0.0, 1.0)
+    }
+
+    /// Whether this cell fell below [`BaselineDelta::required_ratio`].
+    #[must_use]
+    pub fn regressed(&self, allowed_drop: f64) -> bool {
+        self.ratio() < self.required_ratio(allowed_drop)
+    }
+}
+
+/// Result of [`compare_to_baseline`]: every matched closed-loop cell plus the
+/// cells only one side has (a changed grid is reported, never silently
+/// ignored).
+#[derive(Debug, Clone)]
+pub struct BaselineComparison {
+    /// One entry per cell present in both reports, in current-report order.
+    pub deltas: Vec<BaselineDelta>,
+    /// Baseline closed-loop cells with no counterpart in the current run
+    /// (e.g. an engine was removed from the registry).
+    pub baseline_only: Vec<String>,
+    /// Current closed-loop cells with no counterpart in the baseline
+    /// (e.g. a new engine; informational, never a failure).
+    pub current_only: Vec<String>,
+}
+
+impl BaselineComparison {
+    /// The matched cells that lost more than `allowed_drop` throughput.
+    #[must_use]
+    pub fn regressions(&self, allowed_drop: f64) -> Vec<&BaselineDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.regressed(allowed_drop))
+            .collect()
+    }
+
+    /// Renders the per-cell delta table the CI gate prints: one line per
+    /// matched cell with both throughputs and the ratio, regressions marked.
+    #[must_use]
+    pub fn render(&self, allowed_drop: f64) -> String {
+        let mut out = format!(
+            "# baseline comparison ({} matched cells, {:.0}% allowed drop below \
+             the slowest blessed round)\n\
+             {:<44} {:<12} {:>5} {:>12} {:>12} {:>7} {:>7}\n",
+            self.deltas.len(),
+            allowed_drop * 100.0,
+            "spec",
+            "dist",
+            "batch",
+            "baseline_tps",
+            "current_tps",
+            "ratio",
+            "floor",
+        );
+        for delta in &self.deltas {
+            out.push_str(&format!(
+                "{:<44} {:<12} {:>5} {:>12.0} {:>12.0} {:>6.2}x {:>6.2}x{}\n",
+                delta.spec,
+                delta.dist,
+                delta.batch,
+                delta.baseline_tps,
+                delta.current_tps,
+                delta.ratio(),
+                delta.required_ratio(allowed_drop),
+                if delta.regressed(allowed_drop) {
+                    "  REGRESSED"
+                } else {
+                    ""
+                },
+            ));
+        }
+        for cell in &self.baseline_only {
+            out.push_str(&format!(
+                "# baseline-only cell (not measured now): {cell}\n"
+            ));
+        }
+        for cell in &self.current_only {
+            out.push_str(&format!("# new cell (no baseline): {cell}\n"));
+        }
+        out
+    }
+}
+
+fn cell_key(row: &BenchRow) -> (String, String, String, String, usize, usize) {
+    (
+        row.spec.clone(),
+        row.engine.clone(),
+        row.mode.clone(),
+        row.dist.clone(),
+        row.batch,
+        row.clients,
+    )
+}
+
+fn cell_label(row: &BenchRow) -> String {
+    format!(
+        "{} ({}, batch {}, {} clients)",
+        row.spec, row.dist, row.batch, row.clients
+    )
+}
+
+/// Matches the closed-loop cells of `current` against `baseline` by
+/// `(spec, engine, mode, dist, batch, clients)` and reports per-cell
+/// throughput deltas. Open-loop rows are ignored: their throughput is the
+/// offered load, not a measurement.
+#[must_use]
+pub fn compare_to_baseline(current: &BenchReport, baseline: &BenchReport) -> BaselineComparison {
+    let mut base_cells: Vec<(_, &BenchRow)> = baseline
+        .rows
+        .iter()
+        .filter(|r| r.mode == MODE_CLOSED)
+        .map(|r| (cell_key(r), r))
+        .collect();
+    let mut deltas = Vec::new();
+    let mut current_only = Vec::new();
+    for row in current.rows.iter().filter(|r| r.mode == MODE_CLOSED) {
+        let key = cell_key(row);
+        match base_cells.iter().position(|(k, _)| *k == key) {
+            Some(at) => {
+                let (_, base) = base_cells.swap_remove(at);
+                deltas.push(BaselineDelta {
+                    spec: row.spec.clone(),
+                    dist: row.dist.clone(),
+                    batch: row.batch,
+                    clients: row.clients,
+                    baseline_tps: base.throughput_tps,
+                    baseline_spread: base.round_spread,
+                    current_tps: row.throughput_tps,
+                });
+            }
+            None => current_only.push(cell_label(row)),
+        }
+    }
+    BaselineComparison {
+        deltas,
+        baseline_only: base_cells.iter().map(|(_, r)| cell_label(r)).collect(),
+        current_only,
+    }
+}
+
+/// Re-measures apparently regressed cells until the regression either clears
+/// or survives `retries` confirmation passes, and returns the final
+/// comparison. `current` keeps the best number measured for every retried
+/// cell.
+///
+/// This is the gate's noise filter. Closed-loop capacity noise is one-sided:
+/// interference, a lock-wait timeout eating most of a smoke-length round, or
+/// version-chain buildup can only push a measurement *below* the cell's true
+/// capacity, never above it. So a drop that disappears on re-measurement was
+/// noise, while a structural regression reproduces on every pass. Each pass
+/// re-runs only the still-regressed cells through `remeasure` (which must
+/// return a row for the same `(spec, engine, mode, dist, batch, clients)`
+/// cell) and keeps the faster row.
+///
+/// # Panics
+///
+/// Panics when `remeasure` returns a row for a different grid cell than the
+/// one it was asked about — that is a wiring bug in the caller, and silently
+/// merging the row would corrupt the artifact.
+pub fn confirm_regressions(
+    current: &mut BenchReport,
+    baseline: &BenchReport,
+    allowed_drop: f64,
+    retries: usize,
+    mut remeasure: impl FnMut(&BenchRow) -> BenchRow,
+) -> BaselineComparison {
+    for _ in 0..retries {
+        let flagged: Vec<usize> = compare_to_baseline(current, baseline)
+            .regressions(allowed_drop)
+            .iter()
+            .filter_map(|delta| {
+                current.rows.iter().position(|row| {
+                    row.mode == MODE_CLOSED
+                        && row.spec == delta.spec
+                        && row.dist == delta.dist
+                        && row.batch == delta.batch
+                        && row.clients == delta.clients
+                })
+            })
+            .collect();
+        if flagged.is_empty() {
+            break;
+        }
+        for at in flagged {
+            let again = remeasure(&current.rows[at]);
+            assert_eq!(
+                cell_key(&again),
+                cell_key(&current.rows[at]),
+                "remeasure returned a row for a different grid cell"
+            );
+            if again.throughput_tps > current.rows[at].throughput_tps {
+                current.rows[at] = again;
+            }
+        }
+    }
+    compare_to_baseline(current, baseline)
 }
 
 #[cfg(test)]
@@ -552,6 +906,7 @@ mod tests {
                 shed: 3,
                 elapsed_secs: 0.081_234_567_89,
                 throughput_tps: 152_407.407_407,
+                round_spread: 0.875,
                 abort_rate: 0.005_396,
                 p50_us: 180,
                 p99_us: 950,
@@ -578,17 +933,66 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
-        // Version-1 documents (pre serve-path) are explicitly unsupported.
+        // Older documents (v1 pre serve-path, v2 pre closed-loop latency) are
+        // explicitly unsupported.
+        for version in [1, 2] {
+            let err = BenchReport::from_json_str(&format!(
+                r#"{{"schema_version": {version}, "name": "x", "seed": 1, "wall_secs": 0, "rows": []}}"#,
+            ))
+            .unwrap_err();
+            assert!(err.contains("schema_version"), "{err}");
+        }
         let err = BenchReport::from_json_str(
-            r#"{"schema_version": 1, "name": "x", "seed": 1, "wall_secs": 0, "rows": []}"#,
-        )
-        .unwrap_err();
-        assert!(err.contains("schema_version"), "{err}");
-        let err = BenchReport::from_json_str(
-            r#"{"schema_version": 2, "name": "x", "seed": 1, "wall_secs": 0, "rows": [{}]}"#,
+            r#"{"schema_version": 3, "name": "x", "seed": 1, "wall_secs": 0, "rows": [{}]}"#,
         )
         .unwrap_err();
         assert!(err.contains("spec"), "{err}");
+    }
+
+    #[test]
+    fn from_json_rejects_all_zero_quantiles_on_nonempty_rows() {
+        let row = BenchRow {
+            spec: "mvtil-early".to_string(),
+            engine: "mvtil-early".to_string(),
+            mode: MODE_CLOSED.to_string(),
+            arrivals: "-".to_string(),
+            dist: "uniform".to_string(),
+            batch: 1,
+            clients: 2,
+            offered_tps: 0.0,
+            committed: 100,
+            aborted: 0,
+            shed: 0,
+            elapsed_secs: 0.1,
+            throughput_tps: 1_000.0,
+            round_spread: 1.0,
+            abort_rate: 0.0,
+            p50_us: 0,
+            p99_us: 0,
+            p999_us: 0,
+            locks: 0,
+            versions: 1,
+            purged_versions: 0,
+            keys: 1,
+        };
+        let report = BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            name: "unit".to_string(),
+            seed: 1,
+            wall_secs: 0.0,
+            rows: vec![row.clone()],
+        };
+        let err = BenchReport::from_json_str(&report.to_json_string()).unwrap_err();
+        assert!(err.contains("all-zero latency quantiles"), "{err}");
+        // An idle row (nothing committed) may legitimately report zeros.
+        let mut idle = report.clone();
+        idle.rows[0].committed = 0;
+        idle.rows[0].throughput_tps = 0.0;
+        assert!(BenchReport::from_json_str(&idle.to_json_string()).is_ok());
+        // And a nonempty row with any measured quantile parses.
+        let mut measured = report;
+        measured.rows[0].p999_us = 40;
+        assert!(BenchReport::from_json_str(&measured.to_json_string()).is_ok());
     }
 
     #[test]
@@ -607,6 +1011,7 @@ mod tests {
             shed: 0,
             elapsed_secs: 0.1,
             throughput_tps: 10.0,
+            round_spread: 1.0,
             abort_rate: 0.0,
             p50_us: 0,
             p99_us: 0,
@@ -651,6 +1056,206 @@ mod tests {
         check_bench_report(&report, &options);
         let specs = mvtl_registry::all_specs().len();
         assert_eq!(report.rows.len(), 2 * specs, "each batch size ran once");
+    }
+
+    fn cell(spec: &str, dist: &str, batch: usize, tps: f64) -> BenchRow {
+        BenchRow {
+            spec: spec.to_string(),
+            engine: EngineSpec::base_name(spec).to_string(),
+            mode: MODE_CLOSED.to_string(),
+            arrivals: "-".to_string(),
+            dist: dist.to_string(),
+            batch,
+            clients: 4,
+            offered_tps: 0.0,
+            committed: (tps * 0.08) as u64,
+            aborted: 0,
+            shed: 0,
+            elapsed_secs: 0.08,
+            throughput_tps: tps,
+            round_spread: 1.0,
+            abort_rate: 0.0,
+            p50_us: 20,
+            p99_us: 90,
+            p999_us: 400,
+            locks: 0,
+            versions: 1,
+            purged_versions: 0,
+            keys: 1,
+        }
+    }
+
+    fn wrap(rows: Vec<BenchRow>) -> BenchReport {
+        BenchReport {
+            schema_version: BENCH_SCHEMA_VERSION,
+            name: "unit".to_string(),
+            seed: 1,
+            wall_secs: 0.0,
+            rows,
+        }
+    }
+
+    #[test]
+    fn baseline_comparison_matches_cells_and_flags_regressions() {
+        let baseline = wrap(vec![
+            cell("mvtil-early", "uniform", 1, 40_000.0),
+            cell("mvtil-early", "zipf(0.99)", 1, 30_000.0),
+            cell("mvtl-to", "uniform", 1, 25_000.0),
+            cell("removed-engine", "uniform", 1, 10_000.0),
+        ]);
+        let current = wrap(vec![
+            cell("mvtil-early", "uniform", 1, 52_000.0), // 1.3x: fine
+            cell("mvtil-early", "zipf(0.99)", 1, 23_000.0), // 0.77x: regressed
+            cell("mvtl-to", "uniform", 1, 20_500.0),     // 0.82x: within 20%
+            cell("new-engine", "uniform", 1, 5_000.0),
+        ]);
+        let cmp = compare_to_baseline(&current, &baseline);
+        assert_eq!(cmp.deltas.len(), 3);
+        let bad = cmp.regressions(BASELINE_ALLOWED_DROP);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].spec, "mvtil-early");
+        assert_eq!(bad[0].dist, "zipf(0.99)");
+        assert!(bad[0].regressed(BASELINE_ALLOWED_DROP));
+        assert!((bad[0].ratio() - 23.0 / 30.0).abs() < 1e-9);
+        // Grid drift is reported, not silently dropped.
+        assert_eq!(cmp.baseline_only.len(), 1);
+        assert!(cmp.baseline_only[0].contains("removed-engine"));
+        assert_eq!(cmp.current_only.len(), 1);
+        assert!(cmp.current_only[0].contains("new-engine"));
+        let table = cmp.render(BASELINE_ALLOWED_DROP);
+        assert!(table.contains("REGRESSED"), "{table}");
+        assert!(table.contains("removed-engine"), "{table}");
+        assert!(table.contains("new-engine"), "{table}");
+    }
+
+    #[test]
+    fn baseline_comparison_ignores_open_rows_and_other_dimensions() {
+        let mut open = cell("mvtil-early", "uniform", 1, 9_999.0);
+        open.mode = MODE_OPEN.to_string();
+        open.arrivals = "poisson".to_string();
+        let baseline = wrap(vec![
+            cell("mvtil-early", "uniform", 1, 40_000.0),
+            open.clone(),
+        ]);
+        // Same spec but a different batch / client count is a different cell.
+        let mut other_clients = cell("mvtil-early", "uniform", 1, 1_000.0);
+        other_clients.clients = 8;
+        let current = wrap(vec![
+            cell("mvtil-early", "uniform", 2, 100.0),
+            other_clients,
+            open,
+        ]);
+        let cmp = compare_to_baseline(&current, &baseline);
+        assert!(cmp.deltas.is_empty(), "no cell matches across dimensions");
+        assert_eq!(cmp.baseline_only.len(), 1);
+        assert_eq!(cmp.current_only.len(), 2);
+        // An empty match set has no regressions to flag.
+        assert!(cmp.regressions(BASELINE_ALLOWED_DROP).is_empty());
+    }
+
+    #[test]
+    fn volatile_baseline_cells_widen_the_gate_floor() {
+        let mut volatile = cell("2pl", "zipf(0.99)", 8, 40_000.0);
+        volatile.round_spread = 0.5; // the bless run itself swung 2x
+        let baseline = wrap(vec![
+            volatile,
+            cell("mvtil-early", "uniform", 1, 40_000.0), // spread 1.0
+        ]);
+        // Both cells sit at 0.55x of their baseline: fatal for the stable
+        // cell, within the widened floor (0.8 * 0.5 = 0.4) for the volatile
+        // one.
+        let current = wrap(vec![
+            cell("2pl", "zipf(0.99)", 8, 22_000.0),
+            cell("mvtil-early", "uniform", 1, 22_000.0),
+        ]);
+        let cmp = compare_to_baseline(&current, &baseline);
+        let bad = cmp.regressions(BASELINE_ALLOWED_DROP);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].spec, "mvtil-early");
+        assert!((bad[0].required_ratio(BASELINE_ALLOWED_DROP) - 0.8).abs() < 1e-9);
+        // A drop below even the widened floor still fails the volatile cell.
+        let too_slow = wrap(vec![cell("2pl", "zipf(0.99)", 8, 15_000.0)]); // 0.375x
+        let cmp = compare_to_baseline(&too_slow, &baseline);
+        assert_eq!(cmp.regressions(BASELINE_ALLOWED_DROP).len(), 1);
+        assert_eq!(cmp.regressions(BASELINE_ALLOWED_DROP)[0].spec, "2pl");
+    }
+
+    #[test]
+    fn from_json_rejects_out_of_range_round_spread() {
+        let mut report = wrap(vec![cell("mvtil-early", "uniform", 1, 1_000.0)]);
+        report.rows[0].round_spread = 1.5;
+        let err = BenchReport::from_json_str(&report.to_json_string()).unwrap_err();
+        assert!(err.contains("round_spread"), "{err}");
+    }
+
+    #[test]
+    fn confirm_regressions_clears_noise_and_keeps_the_better_row() {
+        let baseline = wrap(vec![
+            cell("mvtil-early", "uniform", 1, 100_000.0),
+            cell("2pl", "uniform", 1, 50_000.0),
+        ]);
+        // 2pl looks regressed (0.6x); mvtil-early is fine and must never be
+        // re-measured.
+        let mut current = wrap(vec![
+            cell("mvtil-early", "uniform", 1, 98_000.0),
+            cell("2pl", "uniform", 1, 30_000.0),
+        ]);
+        let mut calls = Vec::new();
+        let cmp = confirm_regressions(&mut current, &baseline, 0.20, 3, |row| {
+            calls.push(row.spec.clone());
+            // The retry lands in the fast mode: the regression was noise.
+            cell(&row.spec, &row.dist, row.batch, 49_000.0)
+        });
+        assert_eq!(calls, vec!["2pl"], "only the flagged cell re-ran, once");
+        assert!(cmp.regressions(0.20).is_empty());
+        assert!(
+            (current.rows[1].throughput_tps - 49_000.0).abs() < 1e-9,
+            "the artifact keeps the confirmed number"
+        );
+    }
+
+    #[test]
+    fn confirm_regressions_keeps_failing_when_the_drop_reproduces() {
+        let baseline = wrap(vec![cell("mvtl-to", "uniform", 1, 50_000.0)]);
+        let mut current = wrap(vec![cell("mvtl-to", "uniform", 1, 30_000.0)]);
+        let mut calls = 0;
+        let cmp = confirm_regressions(&mut current, &baseline, 0.20, 3, |row| {
+            calls += 1;
+            // Every retry reproduces the drop — and a *slower* retry must
+            // not overwrite the best measurement so far.
+            cell(&row.spec, &row.dist, row.batch, 25_000.0)
+        });
+        assert_eq!(calls, 3, "a real regression is confirmed on every pass");
+        assert_eq!(cmp.regressions(0.20).len(), 1);
+        assert!(
+            (current.rows[0].throughput_tps - 30_000.0).abs() < 1e-9,
+            "best-so-far row survives slower retries"
+        );
+    }
+
+    #[test]
+    fn confirm_regressions_without_regressions_never_remeasures() {
+        let baseline = wrap(vec![cell("mvtil-early", "uniform", 1, 40_000.0)]);
+        let mut current = wrap(vec![cell("mvtil-early", "uniform", 1, 41_000.0)]);
+        let cmp = confirm_regressions(&mut current, &baseline, 0.20, 3, |row| {
+            panic!("no cell regressed, nothing to re-measure: {}", row.spec)
+        });
+        assert!(cmp.regressions(0.20).is_empty());
+    }
+
+    #[test]
+    fn baseline_delta_ratio_handles_zero_baselines() {
+        let delta = BaselineDelta {
+            spec: "x".to_string(),
+            dist: "uniform".to_string(),
+            batch: 1,
+            clients: 1,
+            baseline_tps: 0.0,
+            baseline_spread: 1.0,
+            current_tps: 100.0,
+        };
+        assert!((delta.ratio() - 1.0).abs() < f64::EPSILON);
+        assert!(!delta.regressed(BASELINE_ALLOWED_DROP));
     }
 
     #[test]

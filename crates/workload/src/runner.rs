@@ -8,6 +8,7 @@
 //! (the distributed experiments use `mvtl-sim` instead).
 
 use crate::spec::{TxTemplate, WorkloadSpec};
+use mvtl_common::hist::LatencyHistogram;
 use mvtl_common::{Engine, EngineExt, Key, ProcessId, StoreStats, Transaction, TxError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -92,7 +93,7 @@ impl Default for RunnerOptions {
 }
 
 /// Results of a closed-loop run.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct RunnerMetrics {
     /// Committed transactions.
     pub committed: u64,
@@ -106,6 +107,10 @@ pub struct RunnerMetrics {
     /// Figure-6 "state as time passes" endpoint: with GC attached this stays
     /// bounded; without it, it grows with every committed write.
     pub stats_end: StoreStats,
+    /// Per-attempt latency (begin through commit or abort, microseconds),
+    /// merged across all client threads — the same measurement the open-loop
+    /// driver makes, minus queueing (a closed loop has no arrival schedule).
+    pub latency: LatencyHistogram,
 }
 
 impl RunnerMetrics {
@@ -148,8 +153,10 @@ pub fn run_closed_loop<V>(
     let stop = AtomicBool::new(false);
     let stats_start = engine.stats();
     let start = Instant::now();
+    let mut latency = LatencyHistogram::new();
 
     std::thread::scope(|scope| {
+        let mut clients = Vec::with_capacity(options.clients);
         for client in 0..options.clients {
             let committed = &committed;
             let aborted = &aborted;
@@ -157,15 +164,17 @@ pub fn run_closed_loop<V>(
             let spec = options.spec;
             let seed = options.seed;
             let make_value = &make_value;
-            scope.spawn(move || {
+            clients.push(scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed ^ ((client as u64 + 1) * 0x9E37_79B9));
                 let process = ProcessId(client as u32 + 1);
                 // Built once per thread: the Zipf sampler's setup math must
                 // not run per key draw.
                 let sampler = spec.key_sampler();
                 let mut counter = 0u64;
+                let mut hist = LatencyHistogram::new();
                 while !stop.load(Ordering::Relaxed) {
                     let template = spec.generate_with(&sampler, &mut rng);
+                    let attempt = Instant::now();
                     let mut txn = engine.begin(process);
                     let result = execute_template(&mut txn, &template, spec.batch, || {
                         counter += 1;
@@ -186,8 +195,11 @@ pub fn run_closed_loop<V>(
                             aborted.fetch_add(1, Ordering::Relaxed);
                         }
                     }
+                    let micros = u64::try_from(attempt.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    hist.record(micros);
                 }
-            });
+                hist
+            }));
         }
         // Timer thread: flip the stop flag when the duration elapses.
         let stop = &stop;
@@ -196,6 +208,13 @@ pub fn run_closed_loop<V>(
             std::thread::sleep(duration);
             stop.store(true, Ordering::Relaxed);
         });
+        for handle in clients {
+            // Re-raise client panics instead of silently dropping their tails.
+            let hist = handle
+                .join()
+                .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+            latency.merge(&hist);
+        }
     });
 
     RunnerMetrics {
@@ -204,6 +223,7 @@ pub fn run_closed_loop<V>(
         elapsed_secs: start.elapsed().as_secs_f64(),
         stats_start,
         stats_end: engine.stats(),
+        latency,
     }
 }
 
@@ -231,6 +251,14 @@ mod tests {
         assert_eq!(metrics.stats_start, StoreStats::default());
         assert!(metrics.stats_end.versions > 0);
         assert!(metrics.stats_end.resident() >= metrics.stats_end.versions);
+        // Every attempt recorded a latency, and the quantiles are ordered.
+        assert_eq!(metrics.latency.count(), metrics.committed + metrics.aborted);
+        assert!(
+            metrics.latency.max() > 0,
+            "some attempt took measurable time"
+        );
+        assert!(metrics.latency.p50() <= metrics.latency.p99());
+        assert!(metrics.latency.p99() <= metrics.latency.p999());
     }
 
     #[test]
